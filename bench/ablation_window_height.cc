@@ -1,0 +1,66 @@
+// Ablation: row-window height. The paper fixes windows at 16 rows (the
+// WMMA M dimension). Shorter windows under-fill the 16-row WMMA fragment
+// (zero-padded rows are still multiplied); taller windows accumulate more
+// distinct columns per window, inflating both the Tensor-core X-loading
+// and the CUDA-core gather footprint.
+#include "bench/bench_util.h"
+#include "core/preprocess.h"
+#include "gpusim/scheduler.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+namespace {
+
+// HC-SpMM cost with an explicit window height: windows of `height` rows,
+// each padded up to the 16-row WMMA fragment on the Tensor path.
+double HybridUsAtHeight(const CsrMatrix& abar, int32_t height, const DeviceSpec& dev) {
+  WindowedCsr windows = BuildWindows(abar, height);
+  const SelectorModel selector = DefaultSelectorModel();
+  KernelCostAccumulator acc("height_sweep", dev);
+  for (const RowWindow& w : windows.windows) {
+    if (w.nnz == 0) continue;
+    WindowShape shape = w.Shape(32);
+    // The WMMA fragment is 16 rows regardless; short windows waste lanes.
+    shape.rows = std::max<int32_t>(shape.rows, 16);
+    const CoreType core = selector.Select(w);
+    const WindowCost cost =
+        core == CoreType::kTensorCore
+            ? TensorWindowCost(shape, TensorPathTuning{}, dev, DataType::kTf32)
+            : CudaWindowCost(shape, CudaPathTuning{}, dev, DataType::kTf32);
+    acc.AddBlock(cost, core == CoreType::kTensorCore);
+  }
+  KernelProfile prof;
+  acc.Finalize(&prof);
+  return prof.time_ns / 1e3;
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const char* datasets[] = {"DD", "YS", "RD"};
+
+  PrintTitle("Ablation: row-window height (HC-SpMM, dim 32)");
+  std::vector<std::vector<std::string>> rows;
+  for (const char* code : datasets) {
+    Graph g = LoadBenchGraph(code, 120000);
+    CsrMatrix abar = GcnNormalized(g.adjacency);
+    std::vector<std::string> row{code};
+    double best = 1e18;
+    int32_t best_h = 0;
+    for (int32_t h : {4, 8, 16, 32, 64}) {
+      const double us = HybridUsAtHeight(abar, h, dev);
+      row.push_back(FormatDouble(us, 1));
+      if (us < best) {
+        best = us;
+        best_h = h;
+      }
+    }
+    row.push_back(std::to_string(best_h));
+    rows.push_back(row);
+  }
+  PrintTable({"ds", "h=4", "h=8", "h=16", "h=32", "h=64", "best"}, rows);
+  PrintNote("shape target: 16 (the WMMA fragment height) is optimal or tied");
+  return 0;
+}

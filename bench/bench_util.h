@@ -1,0 +1,105 @@
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary regenerates one exhibit of the paper and prints the measured
+// series next to the paper-reported values so EXPERIMENTS.md can record
+// paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_spmm.h"
+#include "gnn/trainer.h"
+#include "graph/datasets.h"
+#include "kernels/spmm_kernel.h"
+#include "util/string_util.h"
+
+namespace hcspmm {
+namespace bench {
+
+/// Edge cap applied when synthesizing paper datasets for bench runs; keeps
+/// every binary under a few seconds while preserving per-dataset structure.
+inline constexpr int64_t kBenchMaxEdges = 250000;
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+/// Fixed-width ASCII table.
+inline void PrintTable(const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string line = "  ";
+  for (size_t c = 0; c < headers.size(); ++c) line += PadRight(headers[c], widths[c] + 2);
+  std::printf("%s\n", line.c_str());
+  std::string rule(line.size(), '-');
+  std::printf("  %s\n", rule.substr(2).c_str());
+  for (const auto& row : rows) {
+    std::string out = "  ";
+    for (size_t c = 0; c < row.size(); ++c) out += PadRight(row[c], widths[c] + 2);
+    std::printf("%s\n", out.c_str());
+  }
+}
+
+/// Load a paper dataset at bench scale (deterministic).
+inline Graph LoadBenchGraph(const std::string& code,
+                            int64_t max_edges = kBenchMaxEdges) {
+  return LoadDatasetCapped(DatasetByCode(code).ValueOrDie(), max_edges);
+}
+
+/// Load a dataset with the feature dimension scaled by the same factor as
+/// the edges (floor 16). The GNN benches use this: scaling edges but not
+/// dims would inflate the Update-GEMM share relative to the Aggregation
+/// SpMM and distort the paper's forward/backward ratios.
+inline Graph LoadBenchGraphScaledDim(const std::string& code,
+                                     int64_t max_edges = kBenchMaxEdges) {
+  const DatasetSpec spec = DatasetByCode(code).ValueOrDie();
+  Graph g = LoadDatasetCapped(spec, max_edges);
+  const double scale =
+      std::min(1.0, static_cast<double>(max_edges) / spec.paper_edges);
+  const int32_t dim =
+      std::max<int32_t>(16, static_cast<int32_t>(spec.feature_dim * scale));
+  if (dim < g.feature_dim) {
+    g.feature_dim = dim;
+    Pcg32 rng(99);
+    AttachSyntheticFeatures(&g, &rng);
+  }
+  return g;
+}
+
+/// Run one registered kernel on (a, dim) and return the simulated kernel
+/// time in microseconds (excluding launch overhead, like the paper's nvprof
+/// numbers). Fills *out if non-null.
+inline double RunKernelUs(const std::string& kernel_name, const CsrMatrix& a,
+                          int32_t dim, const DeviceSpec& dev,
+                          DataType dtype = DataType::kTf32,
+                          KernelProfile* out = nullptr) {
+  auto kernel = MakeKernel(kernel_name);
+  if (kernel == nullptr) return -1.0;
+  DenseMatrix x(a.cols(), dim, 0.5f);
+  DenseMatrix z;
+  KernelProfile prof;
+  KernelOptions opts;
+  opts.dtype = dtype;
+  Status st = kernel->Run(a, x, dev, opts, &z, &prof);
+  if (!st.ok()) {
+    std::fprintf(stderr, "kernel %s failed: %s\n", kernel_name.c_str(),
+                 st.ToString().c_str());
+    return -1.0;
+  }
+  if (out != nullptr) *out = prof;
+  return prof.time_ns / 1e3;
+}
+
+}  // namespace bench
+}  // namespace hcspmm

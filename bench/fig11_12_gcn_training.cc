@@ -1,0 +1,45 @@
+// Figures 11 & 12 (and Table VIII): GCN forward/backward propagation time
+// per epoch for HC-SpMM vs GE-SpMM vs TC-GNN across the datasets.
+// Paper: HC-SpMM wins everywhere — 1.12x over GE-SpMM and 1.42x over
+// TC-GNN forward; 1.33x and 1.48x backward (larger because fusion only
+// helps the backward pass of GCN).
+#include "bench/bench_util.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const char* datasets[] = {"CS", "CR", "PM", "PT", "DD", "AZ",
+                            "YS", "OC", "GH", "YH", "RD", "TT"};
+  const char* kernels[] = {"hcspmm", "gespmm", "tcgnn"};
+
+  PrintTitle("Figures 11/12 + Table VIII: GCN per-epoch time (ms)");
+  std::vector<std::vector<std::string>> rows;
+  double fwd_ge = 0, fwd_tc = 0, bwd_ge = 0, bwd_tc = 0;
+  int n = 0;
+  for (const char* code : datasets) {
+    Graph g = LoadBenchGraphScaledDim(code, 120000);
+    GnnConfig cfg;
+    double fwd[3], bwd[3];
+    for (int k = 0; k < 3; ++k) {
+      auto stats = TrainGnn(g, GnnModelKind::kGcn, kernels[k], cfg, dev, 3);
+      fwd[k] = stats.AvgForwardMs();
+      bwd[k] = stats.AvgBackwardMs();
+    }
+    rows.push_back({code, FormatDouble(fwd[0], 3), FormatDouble(fwd[1], 3),
+                    FormatDouble(fwd[2], 3), FormatDouble(bwd[0], 3),
+                    FormatDouble(bwd[1], 3), FormatDouble(bwd[2], 3)});
+    fwd_ge += fwd[1] / fwd[0];
+    fwd_tc += fwd[2] / fwd[0];
+    bwd_ge += bwd[1] / bwd[0];
+    bwd_tc += bwd[2] / bwd[0];
+    ++n;
+  }
+  PrintTable({"ds", "fwd HC", "fwd GE", "fwd TC", "bwd HC", "bwd GE", "bwd TC"}, rows);
+  PrintNote("avg HC speedup forward: " + FormatDouble(fwd_ge / n, 2) + "x over GE (paper 1.12), " +
+            FormatDouble(fwd_tc / n, 2) + "x over TC-GNN (paper 1.42)");
+  PrintNote("avg HC speedup backward: " + FormatDouble(bwd_ge / n, 2) + "x over GE (paper 1.33), " +
+            FormatDouble(bwd_tc / n, 2) + "x over TC-GNN (paper 1.48)");
+  return 0;
+}

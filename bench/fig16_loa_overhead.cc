@@ -1,0 +1,33 @@
+// Figure 16: LOA preprocessing overhead relative to 200-epoch GNN training.
+// Paper: LOA accounts for only ~6.6% of training time on average — below
+// its ~8.4% benefit, and constant as epochs grow.
+// Note: LOA runs on the host CPU here exactly as in the paper, so the
+// measured ratio mixes real host time with simulated GPU training time;
+// the shape (small one-time cost vs training) is the reproduction target.
+#include "bench/bench_util.h"
+#include "layout/loa.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const char* datasets[] = {"YS", "OC", "YH", "RD", "TT"};
+  constexpr int kEpochs = 200;
+
+  PrintTitle("Figure 16: LOA overhead vs 200-epoch GCN training");
+  std::vector<std::vector<std::string>> rows;
+  for (const char* code : datasets) {
+    Graph g = LoadBenchGraph(code, 120000);
+    LoaResult loa = RunLoaGuarded(g.adjacency);
+    GnnConfig cfg;
+    auto stats = TrainGnn(g, GnnModelKind::kGcn, "hcspmm", cfg, dev, 3);
+    const double training_ms = stats.AvgEpochMs() * kEpochs;
+    const double pct = 100.0 * loa.elapsed_ms / (loa.elapsed_ms + training_ms);
+    rows.push_back({code, FormatDouble(loa.elapsed_ms, 1) + "ms",
+                    FormatDouble(training_ms, 1) + "ms", FormatDouble(pct, 1) + "%"});
+  }
+  PrintTable({"ds", "LOA (host)", "train x200 (sim)", "LOA share"}, rows);
+  PrintNote("paper: LOA is ~6.6% of training on average and amortizes further");
+  return 0;
+}

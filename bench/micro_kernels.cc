@@ -1,0 +1,87 @@
+// Host-side microbenchmarks (google-benchmark): the real wall-clock cost
+// of the library's preprocessing-path primitives — window building, LOA,
+// format conversion and the reference SpMM the simulator validates against.
+#include <benchmark/benchmark.h>
+
+#include "core/preprocess.h"
+#include "graph/generators.h"
+#include "layout/loa.h"
+#include "sparse/convert.h"
+#include "sparse/generate.h"
+#include "sparse/reference.h"
+
+namespace hcspmm {
+namespace {
+
+CsrMatrix BenchMatrix(int64_t edges) {
+  Pcg32 rng(11);
+  Graph g = MoleculeUnion(static_cast<int32_t>(edges / 4), edges, 24, 8, &rng);
+  return g.adjacency;
+}
+
+void BM_BuildWindows(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(state.range(0));
+  for (auto _ : state) {
+    WindowedCsr w = BuildWindows(a);
+    benchmark::DoNotOptimize(w.windows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_BuildWindows)->Arg(10000)->Arg(100000);
+
+void BM_Preprocess(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(state.range(0));
+  const DeviceSpec dev = Rtx3090();
+  const SelectorModel m = DefaultSelectorModel();
+  for (auto _ : state) {
+    auto plan = Preprocess(a, dev, m);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Preprocess)->Arg(10000)->Arg(100000);
+
+void BM_Loa(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(state.range(0));
+  for (auto _ : state) {
+    LoaResult r = RunLoa(a);
+    benchmark::DoNotOptimize(r.order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Loa)->Arg(10000)->Arg(50000);
+
+void BM_CooCsrRoundTrip(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(state.range(0));
+  for (auto _ : state) {
+    CsrMatrix b = CooToCsr(CsrToCoo(a));
+    benchmark::DoNotOptimize(b.nnz());
+  }
+}
+BENCHMARK(BM_CooCsrRoundTrip)->Arg(10000)->Arg(100000);
+
+void BM_ReferenceSpmm(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(100000);
+  Pcg32 rng(5);
+  DenseMatrix x = GenerateDense(a.cols(), static_cast<int32_t>(state.range(0)), &rng);
+  for (auto _ : state) {
+    DenseMatrix z = ReferenceSpmm(a, x);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * state.range(0));
+}
+BENCHMARK(BM_ReferenceSpmm)->Arg(16)->Arg(32)->Arg(96);
+
+void BM_TransposeCsr(benchmark::State& state) {
+  CsrMatrix a = BenchMatrix(state.range(0));
+  for (auto _ : state) {
+    CsrMatrix t = TransposeCsr(a);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+}
+BENCHMARK(BM_TransposeCsr)->Arg(100000);
+
+}  // namespace
+}  // namespace hcspmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Table I: computing and memory-access costs of both GPU core types in
+// SpMM on DD, YS and RD, and the memory/compute ratios.
+// Paper: m/c(CUDA) = 0.71 / 0.79 / 0.86 and m/c(Tensor) = 1.36 / 2.29 /
+// 2.37 on DD / YS / RD — CUDA cores are memory-efficient (compute-bound),
+// Tensor cores are compute-efficient (memory-bound).
+#include "bench/bench_util.h"
+#include "graph/graph.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const struct {
+    const char* code;
+    double paper_mc_cuda;
+    double paper_mc_tensor;
+  } cases[] = {{"DD", 0.71, 1.36}, {"YS", 0.79, 2.29}, {"RD", 0.86, 2.37}};
+
+  PrintTitle("Table I: per-core compute and memory cost (x10^-2 ms)");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& c : cases) {
+    Graph g = LoadBenchGraph(c.code);
+    CsrMatrix abar = GcnNormalized(g.adjacency);
+    KernelProfile cuda, tensor;
+    RunKernelUs("cuda_opt", abar, 32, dev, DataType::kTf32, &cuda);
+    RunKernelUs("tensor_opt", abar, 32, dev, DataType::kTf32, &tensor);
+    // Per-SM cycle sums -> time in 10^-2 ms units, like the paper.
+    const double to_unit = 1.0 / (dev.clock_ghz * 1e9) / dev.sm_count * 1e5;
+    rows.push_back({c.code,
+                    FormatDouble(cuda.cuda_memory_cycles * to_unit, 2),
+                    FormatDouble(cuda.cuda_compute_cycles * to_unit, 2),
+                    FormatDouble(cuda.CudaMemToCompute(), 2),
+                    FormatDouble(c.paper_mc_cuda, 2),
+                    FormatDouble(tensor.tensor_memory_cycles * to_unit, 2),
+                    FormatDouble(tensor.tensor_compute_cycles * to_unit, 2),
+                    FormatDouble(tensor.TensorMemToCompute(), 2),
+                    FormatDouble(c.paper_mc_tensor, 2)});
+  }
+  PrintTable({"ds", "C-m", "C-c", "m/c(C)", "paper", "T-m", "T-c", "m/c(T)", "paper"},
+             rows);
+  PrintNote("shape target: m/c(C) < 1 rising with graph size; m/c(T) > 1");
+  return 0;
+}

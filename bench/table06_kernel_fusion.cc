@@ -1,0 +1,37 @@
+// Table VI: effectiveness of the kernel-fusion strategy on the backward
+// pass of a GNN layer. Paper: 26.4-32.0% savings (average 30.6%).
+#include "bench/bench_util.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const struct {
+    const char* code;
+    double paper_pct;
+  } cases[] = {{"YS", 32.03}, {"OC", 32.02}, {"YH", 31.09}, {"RD", 31.37},
+               {"TT", 26.44}};
+
+  PrintTitle("Table VI: kernel fusion on GCN backward propagation");
+  std::vector<std::vector<std::string>> rows;
+  double total = 0;
+  for (const auto& c : cases) {
+    Graph g = LoadBenchGraphScaledDim(c.code, 150000);
+    GnnConfig fused, plain;
+    fused.fuse_kernels = true;
+    plain.fuse_kernels = false;
+    auto s1 = TrainGnn(g, GnnModelKind::kGcn, "hcspmm", fused, dev, 2);
+    auto s2 = TrainGnn(g, GnnModelKind::kGcn, "hcspmm", plain, dev, 2);
+    const double pct = 100.0 * (s2.AvgBackwardMs() - s1.AvgBackwardMs()) /
+                       s2.AvgBackwardMs();
+    total += pct;
+    rows.push_back({c.code, FormatDouble(s1.AvgBackwardMs(), 3) + "ms",
+                    FormatDouble(s2.AvgBackwardMs(), 3) + "ms",
+                    FormatDouble(pct, 1) + "%", FormatDouble(c.paper_pct, 1) + "%"});
+  }
+  PrintTable({"ds", "fused", "no fusion", "speedup", "paper"}, rows);
+  PrintNote("measured average: " + FormatDouble(total / 5, 1) +
+            "% (paper average 30.6%)");
+  return 0;
+}

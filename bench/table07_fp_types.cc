@@ -1,0 +1,36 @@
+// Table VII (Appendix B): SpMM kernel time under different floating-point
+// types. Paper: HC-SpMM's half and bfloat16 paths perform almost
+// identically; Sputnik's half path is up to 2x its fp32 path; TC-GNN gets
+// *slower* at half precision because the 16x16x16 WMMA tile wastes more
+// work than TF32's 16x8x16.
+#include "bench/bench_util.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const DeviceSpec dev = Rtx3090();
+  const char* datasets[] = {"CS", "CR", "PM", "DD", "YS", "OC", "GH", "YH", "RD", "TT"};
+
+  PrintTitle("Table VII: SpMM time by FP type (us)");
+  std::vector<std::vector<std::string>> rows;
+  for (const char* code : datasets) {
+    Graph g = LoadBenchGraph(code, 120000);
+    CsrMatrix abar = GcnNormalized(g.adjacency);
+    const double sputnik_fp32 = RunKernelUs("sputnik", abar, 32, dev, DataType::kTf32);
+    const double sputnik_half = RunKernelUs("sputnik", abar, 32, dev, DataType::kFp16);
+    const double tcgnn_tf32 = RunKernelUs("tcgnn", abar, 32, dev, DataType::kTf32);
+    const double tcgnn_half = RunKernelUs("tcgnn", abar, 32, dev, DataType::kFp16);
+    const double hc_half = RunKernelUs("hcspmm", abar, 32, dev, DataType::kFp16);
+    const double hc_bf16 = RunKernelUs("hcspmm", abar, 32, dev, DataType::kBf16);
+    rows.push_back({code, FormatDouble(sputnik_fp32, 2), FormatDouble(sputnik_half, 2),
+                    FormatDouble(tcgnn_tf32, 2), FormatDouble(tcgnn_half, 2),
+                    FormatDouble(hc_half, 2), FormatDouble(hc_bf16, 2)});
+  }
+  PrintTable({"ds", "Sputnik fp32", "Sputnik half", "TC-GNN tf32", "TC-GNN half",
+              "HC half", "HC bf16"},
+             rows);
+  PrintNote("shape targets: HC half ~= HC bf16; Sputnik half < Sputnik fp32;");
+  PrintNote("TC-GNN half >= TC-GNN tf32 (coarser 16x16x16 tile)");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Table XVI (Appendix A): SpMM kernel time across three GPU generations.
+// Paper shape: HC-SpMM is fastest (or ties) on every device; the RTX 4090
+// beats the RTX 3090; the A100 trails both on these latency-bound kernels.
+#include "bench/bench_util.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+int main() {
+  const char* datasets[] = {"CS", "PM", "DD", "AZ", "YS", "GH", "RD", "TT"};
+  const char* kernels[] = {"sputnik", "gespmm", "tcgnn", "dtcspmm", "cusparse",
+                           "hcspmm"};
+
+  PrintTitle("Table XVI: SpMM time across GPUs (us)");
+  std::vector<std::vector<std::string>> rows;
+  for (const char* code : datasets) {
+    Graph g = LoadBenchGraph(code, 120000);
+    CsrMatrix abar = GcnNormalized(g.adjacency);
+    for (const DeviceSpec& dev : {Rtx3090(), Rtx4090(), A100()}) {
+      std::vector<std::string> row{std::string(code) + "/" + dev.name};
+      for (const char* k : kernels) {
+        row.push_back(FormatDouble(RunKernelUs(k, abar, 32, dev), 1));
+      }
+      rows.push_back(row);
+    }
+  }
+  PrintTable({"ds/gpu", "Sputnik", "GE-SpMM", "TC-GNN", "DTC-SpMM", "cuSPARSE",
+              "HC-SpMM"},
+             rows);
+  PrintNote("shape targets: HC fastest per row; 4090 < 3090 < A100 per dataset");
+  return 0;
+}

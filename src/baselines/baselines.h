@@ -1,0 +1,68 @@
+// Re-implementations of the five comparison kernels from the paper's
+// evaluation (SS VI-A), expressed as algorithmic strategies over the same
+// simulated device so the comparison is controlled:
+//
+//  * cuSPARSE-like  — vendor CSR kernel: warp-per-row, no shared-memory
+//    reuse, per-row launch overhead; highly sensitive to scattered column
+//    ids (Gale et al.: efficient only above ~98% sparsity).
+//  * Sputnik-like   — 1-D tiling + merge-style load balancing + vector
+//    loads; the state-of-the-art CUDA-core kernel.
+//  * GE-SpMM-like   — coalesced row caching + coarse-grained warp merging;
+//    GNN-tailored CUDA-core kernel (no dimension generalization).
+//  * TC-GNN-like    — Tensor cores for *all* row windows after column
+//    condensing; CUDA cores only load data (no compute); naive staging.
+//  * DTC-SpMM-like  — Tensor cores for all windows with the ME-TCF format
+//    (cheaper A-fragment construction, better staging).
+#pragma once
+
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+class CusparseLikeSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "cusparse"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+class SputnikLikeSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "sputnik"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+class GeSpmmLikeSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "gespmm"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+class TcGnnLikeSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "tcgnn"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+
+  /// Host-side preprocessing time (Table XI): TC-GNN condenses on the CPU.
+  static double PreprocessNs(const CsrMatrix& a);
+};
+
+class DtcSpmmLikeSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "dtcspmm"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+
+  /// GPU-side ME-TCF preprocessing time (Table XI).
+  static double PreprocessNs(const CsrMatrix& a, const DeviceSpec& dev);
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,40 @@
+#include "baselines/baselines.h"
+
+#include "core/preprocess.h"
+#include "gpusim/scheduler.h"
+
+namespace hcspmm {
+
+Status DtcSpmmLikeSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
+                            const DeviceSpec& dev, const KernelOptions& opts,
+                            DenseMatrix* z, KernelProfile* profile) const {
+  if (a.cols() != x.rows()) {
+    return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
+  }
+  *z = DenseMatrix(a.rows(), x.cols());
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), opts.dtype, z);
+
+  if (profile != nullptr) {
+    WindowedCsr windows = BuildWindows(a);
+    KernelCostAccumulator acc(name(), dev);
+    TensorPathTuning tuning;
+    tuning.optimized_loading = true;  // efficient cooperative staging
+    tuning.a_load_per_nnz = 1.6;      // ME-TCF: cheap fragment construction
+    tuning.x_load_scale = 0.97;
+    for (const RowWindow& w : windows.windows) {
+      if (w.nnz == 0) continue;
+      acc.AddBlock(TensorWindowCost(w.Shape(x.cols()), tuning, dev, opts.dtype),
+                   /*on_tensor=*/true);
+    }
+    acc.Finalize(profile);
+  }
+  return Status::OK();
+}
+
+double DtcSpmmLikeSpmm::PreprocessNs(const CsrMatrix& a, const DeviceSpec& dev) {
+  const double cycles = static_cast<double>(a.nnz()) * kDtcPreprocCyclesPerNnz;
+  return dev.CyclesToNs(cycles / dev.sm_count) + dev.kernel_ramp_ns +
+         dev.kernel_launch_ns;
+}
+
+}  // namespace hcspmm

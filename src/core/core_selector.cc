@@ -1,0 +1,43 @@
+#include "core/core_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcspmm {
+
+double SelectorModel::PredictProbCuda(double sparsity, double cols) const {
+  cols = std::min(cols, kSelectorMaxCols);
+  const double logit = w_sparsity * sparsity + w_cols * cols + bias;
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+SelectorModel DefaultSelectorModel() {
+  // Trained offline by ml/training_pipeline (see ml_test.cc for the
+  // regeneration path); boundary sits near 83% sparsity with a mild
+  // column-count tilt, matching Fig. 1(a)/8.
+  SelectorModel m;
+  m.w_sparsity = 21.9184;
+  m.w_cols = -0.018177;
+  m.bias = -16.4780;
+  return m;
+}
+
+SelectorModel DefaultSelectorModelFor(const std::string& device_name) {
+  SelectorModel m;
+  if (device_name == "RTX4090") {
+    m.w_sparsity = 21.8965;
+    m.w_cols = -0.017785;
+    m.bias = -16.3690;
+    return m;
+  }
+  if (device_name == "A100") {
+    // Fewer FP32 lanes per SM shift the crossover toward Tensor cores.
+    m.w_sparsity = 17.0323;
+    m.w_cols = -0.021441;
+    m.bias = -15.3124;
+    return m;
+  }
+  return DefaultSelectorModel();
+}
+
+}  // namespace hcspmm

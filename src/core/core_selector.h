@@ -1,0 +1,58 @@
+// Adaptive core selection (SS IV-C): a logistic-regression model over the
+// two dominant window features — sparsity and non-zero column count —
+// decides per row window whether CUDA or Tensor cores should process it.
+// The deployed coefficients are "model encoding" products of the offline
+// training pipeline (src/ml/training_pipeline.h), hard-coded exactly as the
+// paper hard-codes its sklearn coefficients.
+#pragma once
+
+#include <string>
+
+#include "core/row_window.h"
+
+namespace hcspmm {
+
+/// Which GPU core type processes a row window. Matches the paper's boolean
+/// array encoding: 0 = CUDA cores, 1 = Tensor cores.
+enum class CoreType { kCudaCore = 0, kTensorCore = 1 };
+
+/// Column-count cap used during training (SS IV-C: "the maximum number of
+/// non-zero columns is set to 130"). Inference clamps the feature to the
+/// same range so hub windows far outside the training distribution don't
+/// extrapolate the linear model into nonsense.
+inline constexpr double kSelectorMaxCols = 130.0;
+
+/// \brief Encoded logistic-regression core selector.
+///
+/// The model predicts P(CUDA cores are faster) = sigmoid(w_sparsity * s +
+/// w_cols * c + bias), s in [0,1], c the non-zero column count clamped to
+/// kSelectorMaxCols — inference is the paper's "w1*x1 + w2*x2 + b", a few
+/// nanoseconds.
+struct SelectorModel {
+  double w_sparsity = 0.0;
+  double w_cols = 0.0;
+  double bias = 0.0;
+
+  /// P(label == 1), i.e. P(CUDA cores faster), per the paper's labeling.
+  double PredictProbCuda(double sparsity, double cols) const;
+
+  /// Hard decision for a window's features.
+  CoreType Select(double sparsity, double cols) const {
+    return PredictProbCuda(sparsity, cols) >= 0.5 ? CoreType::kCudaCore
+                                                  : CoreType::kTensorCore;
+  }
+  CoreType Select(const RowWindow& w) const {
+    return Select(w.Sparsity(), static_cast<double>(w.NumCols()));
+  }
+};
+
+/// Coefficients produced by running TrainCoreSelector() on the RTX 3090
+/// model at dim 32 (the paper's training configuration), then hard-coded.
+SelectorModel DefaultSelectorModel();
+
+/// Per-architecture encoded models (the paper retrains per GPU
+/// architecture: "provided the GPU architecture and precision remain
+/// unchanged"). Unknown device names fall back to DefaultSelectorModel().
+SelectorModel DefaultSelectorModelFor(const std::string& device_name);
+
+}  // namespace hcspmm

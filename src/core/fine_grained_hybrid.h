@@ -1,0 +1,36 @@
+// The *straightforward* combination strategy of SS IV-A / Figure 4(a),
+// implemented as an ablation baseline: each row window is split into 16x8
+// blocks, every block is routed independently by its own sparsity, and the
+// partial results of the two core types must be merged — extra I/O and
+// addition work the paper measures at up to 31%. HC-SpMM's row-window
+// strategy (Figure 4b) exists precisely to avoid this; the
+// ablation_combination_strategy bench quantifies the difference.
+#pragma once
+
+#include "core/row_window.h"
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+/// Fraction of a mixed window's result traffic spent merging the two core
+/// types' partial sums (registers -> shared/global round trip + adds).
+inline constexpr double kMergeOverheadFactor = 0.31;
+
+/// Per-block sparsity threshold above which a 16x8 block goes to CUDA
+/// cores (the only usable feature at this granularity, SS IV-A).
+inline constexpr double kFineBlockSparsityThreshold = 0.83;
+
+/// Fixed dispatch cost per 16x8 block: edges must be stored separately per
+/// core type at this granularity, costing extra index work and access
+/// locality (SS IV-A limitation (2)).
+inline constexpr double kFineBlockOverheadCycles = 25.0;
+
+class FineGrainedHybridSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "hybrid_fine"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+}  // namespace hcspmm

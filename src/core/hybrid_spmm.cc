@@ -1,0 +1,49 @@
+#include "core/hybrid_spmm.h"
+
+#include "gpusim/scheduler.h"
+
+namespace hcspmm {
+
+Status HcSpmm::Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+                   const KernelOptions& opts, DenseMatrix* z,
+                   KernelProfile* profile) const {
+  auto plan = Preprocess(a, dev, SelectorFor(dev));
+  if (!plan.ok()) return plan.status();
+  return RunWithPlan(plan.ValueOrDie(), a, x, dev, opts, z, profile);
+}
+
+Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
+                           const DenseMatrix& x, const DeviceSpec& dev,
+                           const KernelOptions& opts, DenseMatrix* z,
+                           KernelProfile* profile) const {
+  if (a.cols() != x.rows()) {
+    return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
+  }
+  if (plan.windows.csr != &a) {
+    return Status::InvalidArgument("plan was built for a different matrix");
+  }
+  *z = DenseMatrix(a.rows(), x.cols());
+
+  KernelCostAccumulator acc(name(), dev);
+  const int32_t dim = x.cols();
+  for (size_t i = 0; i < plan.windows.windows.size(); ++i) {
+    const RowWindow& w = plan.windows.windows[i];
+    if (w.nnz == 0) continue;
+    const bool on_tensor = plan.assignment[i] == CoreType::kTensorCore;
+    // Functional execution: the Tensor path rounds operands to the storage
+    // type (TF32 by default); the CUDA path computes in full FP32.
+    internal::SpmmRowsRounded(a, x, w.first_row, w.first_row + w.num_rows,
+                              on_tensor ? opts.dtype : DataType::kFp32, z);
+    const WindowShape shape = w.Shape(dim);
+    const WindowCost cost = on_tensor
+                                ? tensor_path_.WindowCostFor(shape, dev, opts.dtype)
+                                : cuda_path_.WindowCostFor(shape, dev, opts.dtype);
+    acc.AddBlock(cost, on_tensor);
+  }
+  if (profile != nullptr) {
+    acc.Finalize(profile);
+  }
+  return Status::OK();
+}
+
+}  // namespace hcspmm

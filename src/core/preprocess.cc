@@ -1,0 +1,41 @@
+#include "core/preprocess.h"
+
+namespace hcspmm {
+
+Result<HybridPlan> Preprocess(const CsrMatrix& csr, const DeviceSpec& dev,
+                              const SelectorModel& selector, int32_t window_height) {
+  if (csr.rows() == 0) {
+    return Status::InvalidArgument("cannot preprocess an empty matrix");
+  }
+  HybridPlan plan;
+  plan.windows = BuildWindows(csr, window_height);
+  plan.assignment.reserve(plan.windows.windows.size());
+  for (const RowWindow& w : plan.windows.windows) {
+    // Empty windows never launch work; count them as CUDA for bookkeeping.
+    const CoreType core = (w.nnz == 0) ? CoreType::kCudaCore : selector.Select(w);
+    plan.assignment.push_back(core);
+    if (w.nnz > 0) {
+      if (core == CoreType::kTensorCore) {
+        plan.windows_tensor++;
+      } else {
+        plan.windows_cuda++;
+      }
+    }
+  }
+
+  // Metered preprocessing: a GPU pass over all edges (DTC-style, no PCIe
+  // round trip) plus the per-window nanosecond-scale classification.
+  KernelProfile& p = plan.preprocess_profile;
+  p.kernel_name = "hcspmm_preprocess";
+  const double cycles = static_cast<double>(csr.nnz()) * kHcPreprocCyclesPerNnz;
+  p.cuda_compute_cycles = cycles * 0.5;
+  p.cuda_memory_cycles = cycles * 0.5;
+  p.time_ns = dev.CyclesToNs(cycles / dev.sm_count) + dev.kernel_ramp_ns;
+  p.launches = 1;
+  p.launch_ns = dev.kernel_launch_ns;
+  p.gmem_bytes = csr.nnz() * 8;
+  p.blocks = static_cast<int64_t>(plan.windows.windows.size());
+  return plan;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,39 @@
+// HC-SpMM preprocessing (SS IV-C "model encoding" deployment + Appendix F):
+// build the row-window decomposition, condense non-zero columns, and
+// classify every window with the selector. The result (a HybridPlan) is
+// reused across the thousands of SpMM calls of a GNN training run, so its
+// cost is amortized — but it is still metered (Table XI).
+#pragma once
+
+#include "core/core_selector.h"
+#include "core/row_window.h"
+#include "gpusim/profile.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// \brief Preprocessed hybrid execution plan for one sparse matrix.
+struct HybridPlan {
+  WindowedCsr windows;                ///< windowing + condensing metadata
+  std::vector<CoreType> assignment;   ///< per-window core choice
+  int64_t windows_cuda = 0;
+  int64_t windows_tensor = 0;
+  /// Simulated GPU-side preprocessing cost (window stats + condensing +
+  /// classification), comparable to DTC-SpMM's GPU preprocessing.
+  KernelProfile preprocess_profile;
+};
+
+/// Per-nnz GPU preprocessing cost (sort + unique + condense + classify).
+/// Calibrated against Table XI: HC-SpMM preprocesses ~1.3x faster than
+/// DTC-SpMM and ~36x faster than TC-GNN's host-side pass.
+inline constexpr double kHcPreprocCyclesPerNnz = 170.0;
+inline constexpr double kDtcPreprocCyclesPerNnz = 225.0;
+/// TC-GNN preprocesses on the host: ~67 ns per edge (Table XI, YS).
+inline constexpr double kTcGnnPreprocNsPerNnz = 67.0;
+
+/// Build the plan for `csr` on `dev` using `selector`.
+Result<HybridPlan> Preprocess(const CsrMatrix& csr, const DeviceSpec& dev,
+                              const SelectorModel& selector,
+                              int32_t window_height = kRowWindowHeight);
+
+}  // namespace hcspmm

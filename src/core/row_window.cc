@@ -1,0 +1,70 @@
+#include "core/row_window.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+double RowWindow::Sparsity() const {
+  if (num_rows == 0 || unique_cols.empty()) return 1.0;
+  double cells = static_cast<double>(num_rows) * static_cast<double>(unique_cols.size());
+  return 1.0 - static_cast<double>(nnz) / cells;
+}
+
+double RowWindow::ComputingIntensity() const {
+  if (unique_cols.empty()) return 0.0;
+  return static_cast<double>(nnz) / static_cast<double>(unique_cols.size());
+}
+
+WindowShape RowWindow::Shape(int32_t dim) const {
+  WindowShape s;
+  s.rows = num_rows;
+  s.dim = dim;
+  s.nnz = nnz;
+  s.unique_cols = NumCols();
+  s.col_span = col_span;
+  s.matrix_cols = matrix_cols;
+  s.max_row_nnz = max_row_nnz;
+  return s;
+}
+
+int64_t WindowedCsr::TotalNnz() const {
+  int64_t total = 0;
+  for (const RowWindow& w : windows) total += w.nnz;
+  return total;
+}
+
+WindowedCsr BuildWindows(const CsrMatrix& csr, int32_t window_height) {
+  HCSPMM_CHECK(window_height > 0);
+  WindowedCsr out;
+  out.csr = &csr;
+  out.window_height = window_height;
+  const int32_t num_windows = (csr.rows() + window_height - 1) / window_height;
+  out.windows.reserve(num_windows);
+
+  std::vector<int32_t> cols;
+  for (int32_t wi = 0; wi < num_windows; ++wi) {
+    RowWindow w;
+    w.matrix_cols = csr.cols();
+    w.first_row = wi * window_height;
+    w.num_rows = std::min(window_height, csr.rows() - w.first_row);
+    cols.clear();
+    for (int32_t r = w.first_row; r < w.first_row + w.num_rows; ++r) {
+      const int64_t row_nnz = csr.RowNnz(r);
+      w.nnz += row_nnz;
+      w.max_row_nnz = std::max(w.max_row_nnz, row_nnz);
+      for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+        cols.push_back(csr.col_ind()[k]);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    w.unique_cols = cols;
+    w.col_span = cols.empty() ? 0 : cols.back() - cols.front();
+    out.windows.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,57 @@
+// Row-window partitioning of the adjacency matrix (SS IV-A): the minimum
+// hybrid dispatch unit. Within each 16-row window, non-zero columns are
+// condensed to the front (TC-GNN-style) so Tensor cores traverse only
+// ceil(cols/8) 16x8 blocks while CUDA cores keep using CSR directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "sparse/csr.h"
+
+namespace hcspmm {
+
+/// Default window height used throughout the paper.
+inline constexpr int32_t kRowWindowHeight = 16;
+
+/// \brief One row window: 16 consecutive rows plus condensing metadata.
+struct RowWindow {
+  int32_t first_row = 0;
+  int32_t num_rows = 0;  ///< <= kRowWindowHeight (last window may be short)
+  int64_t nnz = 0;
+  int64_t max_row_nnz = 0;
+  /// Sorted distinct original column ids; the condensed column j of this
+  /// window corresponds to original column unique_cols[j].
+  std::vector<int32_t> unique_cols;
+  int32_t col_span = 0;     ///< max - min original column id (locality proxy)
+  int32_t matrix_cols = 0;  ///< width of the parent matrix
+
+  int32_t NumCols() const { return static_cast<int32_t>(unique_cols.size()); }
+
+  /// Sparsity over the condensed num_rows x NumCols() region — the selector
+  /// feature from SS IV-C (1/16 .. 15/16 for synthetic training windows).
+  double Sparsity() const;
+
+  /// Computing intensity = #nonzeros / #non-zero columns (Equation 5).
+  double ComputingIntensity() const;
+
+  /// Shape record consumed by the cost model.
+  WindowShape Shape(int32_t dim) const;
+};
+
+/// \brief A CSR matrix with its row-window decomposition.
+///
+/// Does not own the CSR; callers must keep it alive.
+struct WindowedCsr {
+  const CsrMatrix* csr = nullptr;
+  int32_t window_height = kRowWindowHeight;
+  std::vector<RowWindow> windows;
+
+  int64_t TotalNnz() const;
+};
+
+/// Partition `csr` into row windows and compute per-window statistics.
+WindowedCsr BuildWindows(const CsrMatrix& csr, int32_t window_height = kRowWindowHeight);
+
+}  // namespace hcspmm

@@ -1,0 +1,141 @@
+#include "gnn/dense_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/scheduler.h"
+#include "sparse/reference.h"
+#include "util/logging.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Meter a GEMM of logical shape m x k x n as one cuBLAS-style launch.
+void MeterGemm(const char* name, int32_t m, int32_t k, int32_t n,
+               const DeviceSpec& dev, DataType dtype, KernelProfile* profile) {
+  if (profile == nullptr) return;
+  KernelCostAccumulator acc(name, dev);
+  int64_t blocks = 0;
+  const WindowCost cost = DenseGemmCost(m, k, n, dev, dtype, &blocks);
+  acc.AddGemm(cost, blocks);
+  KernelProfile p;
+  acc.Finalize(&p, /*launches=*/1);
+  p.kernel_name = name;
+  profile->Accumulate(p);
+}
+
+// Bandwidth-bound elementwise op touching `bytes` of global memory.
+void MeterElementwise(const char* name, int64_t bytes, const DeviceSpec& dev,
+                      KernelProfile* profile) {
+  if (profile == nullptr) return;
+  KernelProfile p;
+  p.kernel_name = name;
+  const double cycles = static_cast<double>(bytes) / dev.BytesPerCyclePerSm();
+  p.cuda_memory_cycles = cycles;
+  p.time_ns = dev.CyclesToNs(cycles / dev.sm_count) + dev.kernel_ramp_ns;
+  p.gmem_bytes = bytes;
+  p.launches = 1;
+  p.launch_ns = dev.kernel_launch_ns;
+  profile->Accumulate(p);
+}
+
+}  // namespace
+
+DenseMatrix MeteredGemm(const DenseMatrix& a, const DenseMatrix& b,
+                        const DeviceSpec& dev, DataType dtype,
+                        KernelProfile* profile) {
+  MeterGemm("gemm", a.rows(), a.cols(), b.cols(), dev, dtype, profile);
+  return ReferenceGemm(a, b);
+}
+
+DenseMatrix MeteredGemmTransA(const DenseMatrix& a, const DenseMatrix& b,
+                              const DeviceSpec& dev, DataType dtype,
+                              KernelProfile* profile) {
+  MeterGemm("gemm_ta", a.cols(), a.rows(), b.cols(), dev, dtype, profile);
+  return ReferenceGemmTransA(a, b);
+}
+
+DenseMatrix MeteredGemmTransB(const DenseMatrix& a, const DenseMatrix& b,
+                              const DeviceSpec& dev, DataType dtype,
+                              KernelProfile* profile) {
+  MeterGemm("gemm_tb", a.rows(), a.cols(), b.rows(), dev, dtype, profile);
+  return ReferenceGemmTransB(a, b);
+}
+
+void MeteredReluInPlace(DenseMatrix* m, const DeviceSpec& dev,
+                        KernelProfile* profile) {
+  for (float& v : m->mutable_data()) v = std::max(v, 0.0f);
+  MeterElementwise("relu", m->MemoryBytes() * 2, dev, profile);
+}
+
+DenseMatrix MeteredReluGrad(const DenseMatrix& grad_out, const DenseMatrix& pre_act,
+                            const DeviceSpec& dev, KernelProfile* profile) {
+  HCSPMM_CHECK(grad_out.rows() == pre_act.rows() && grad_out.cols() == pre_act.cols());
+  DenseMatrix out(grad_out.rows(), grad_out.cols());
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.mutable_data()[i] = pre_act.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
+  }
+  MeterElementwise("relu_grad", out.MemoryBytes() * 3, dev, profile);
+  return out;
+}
+
+DenseMatrix SoftmaxRows(const DenseMatrix& logits) {
+  DenseMatrix out(logits.rows(), logits.cols());
+  for (int32_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.RowData(r);
+    float mx = row[0];
+    for (int32_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int32_t j = 0; j < logits.cols(); ++j) sum += std::exp(row[j] - mx);
+    for (int32_t j = 0; j < logits.cols(); ++j) {
+      out.At(r, j) = static_cast<float>(std::exp(row[j] - mx) / sum);
+    }
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropy(const DenseMatrix& logits,
+                           const std::vector<int32_t>& labels,
+                           DenseMatrix* grad_logits) {
+  HCSPMM_CHECK(labels.size() == static_cast<size_t>(logits.rows()));
+  const DenseMatrix probs = SoftmaxRows(logits);
+  const double inv_n = 1.0 / logits.rows();
+  double loss = 0.0;
+  if (grad_logits != nullptr) *grad_logits = DenseMatrix(logits.rows(), logits.cols());
+  for (int32_t r = 0; r < logits.rows(); ++r) {
+    const int32_t y = labels[r];
+    loss -= std::log(std::max(1e-12, static_cast<double>(probs.At(r, y))));
+    if (grad_logits != nullptr) {
+      for (int32_t j = 0; j < logits.cols(); ++j) {
+        grad_logits->At(r, j) =
+            static_cast<float>((probs.At(r, j) - (j == y ? 1.0f : 0.0f)) * inv_n);
+      }
+    }
+  }
+  return loss * inv_n;
+}
+
+double PredictionAccuracy(const DenseMatrix& logits,
+                          const std::vector<int32_t>& labels) {
+  int64_t correct = 0;
+  for (int32_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.RowData(r);
+    int32_t best = 0;
+    for (int32_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[r]) ++correct;
+  }
+  return logits.rows() > 0 ? static_cast<double>(correct) / logits.rows() : 0.0;
+}
+
+void SgdStep(DenseMatrix* w, const DenseMatrix& grad, double lr) {
+  HCSPMM_CHECK(w->rows() == grad.rows() && w->cols() == grad.cols());
+  for (size_t i = 0; i < w->data().size(); ++i) {
+    w->mutable_data()[i] -= static_cast<float>(lr * grad.data()[i]);
+  }
+}
+
+}  // namespace hcspmm

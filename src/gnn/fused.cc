@@ -1,0 +1,36 @@
+#include "gnn/fused.h"
+
+#include <algorithm>
+
+#include "gpusim/cost_model.h"
+
+namespace hcspmm {
+
+double FusionSavingsNs(int64_t rows, int32_t dim, int32_t launches_saved,
+                       const DeviceSpec& dev, DataType dtype) {
+  // Intermediate aggregation result: written once by Aggregation, read once
+  // by Update — both sides vanish when it lives in shared memory.
+  const double bytes =
+      2.0 * static_cast<double>(rows) * dim * DataTypeBytes(dtype);
+  const double traffic_ns =
+      dev.CyclesToNs(bytes / dev.BytesPerCyclePerSm() / dev.sm_count);
+  return launches_saved * dev.kernel_launch_ns + traffic_ns;
+}
+
+void ApplyFusion(KernelProfile* group, int64_t rows, int32_t dim,
+                 int32_t launches_saved, const DeviceSpec& dev, DataType dtype) {
+  launches_saved = std::min<int32_t>(launches_saved, group->launches - 1);
+  if (launches_saved <= 0) return;
+  const double launch_cut = launches_saved * dev.kernel_launch_ns;
+  const double bytes =
+      2.0 * static_cast<double>(rows) * dim * DataTypeBytes(dtype);
+  const double traffic_ns =
+      dev.CyclesToNs(bytes / dev.BytesPerCyclePerSm() / dev.sm_count);
+  group->launches -= launches_saved;
+  group->launch_ns = std::max(0.0, group->launch_ns - launch_cut);
+  group->time_ns = std::max(0.0, group->time_ns - traffic_ns);
+  group->gmem_bytes = std::max<int64_t>(0, group->gmem_bytes -
+                                               static_cast<int64_t>(bytes));
+}
+
+}  // namespace hcspmm

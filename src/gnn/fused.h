@@ -1,0 +1,26 @@
+// Kernel fusion accounting (SS V-A): when the Update phase directly follows
+// the Aggregation phase (GCN backward, GIN forward), the two kernels fuse
+// into one — saving kernel launches and the global-memory round trip of the
+// intermediate aggregation result, which instead stays in shared memory.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+#include "gpusim/profile.h"
+
+namespace hcspmm {
+
+/// Simulated time saved by fusing an Aggregation (producing a `rows` x
+/// `dim` intermediate) with its following Update kernels:
+/// `launches_saved` launch overheads plus the intermediate's write+read
+/// global-memory traffic.
+double FusionSavingsNs(int64_t rows, int32_t dim, int32_t launches_saved,
+                       const DeviceSpec& dev, DataType dtype);
+
+/// Apply fusion to an already-accumulated profile group: subtracts the
+/// savings from launch/time and re-tags the launch count.
+void ApplyFusion(KernelProfile* group, int64_t rows, int32_t dim,
+                 int32_t launches_saved, const DeviceSpec& dev, DataType dtype);
+
+}  // namespace hcspmm

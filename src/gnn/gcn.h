@@ -1,0 +1,79 @@
+// GCN (Kipf & Welling) with simulated-time accounting. Each layer computes
+// X_{l+1} = ReLU(Abar (X_l W_l)): Update (GEMM) first, then Aggregation
+// (SpMM) — so in *backward* propagation the Update directly follows the
+// Aggregation and the two kernels fuse (SS V-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/optimizers.h"
+#include "gnn/spmm_engine.h"
+#include "graph/graph.h"
+
+namespace hcspmm {
+
+/// Shared GNN hyperparameters.
+struct GnnConfig {
+  int32_t hidden_dim = 16;
+  int32_t num_layers = 2;
+  double learning_rate = 0.05;
+  bool fuse_kernels = true;  ///< SS V-A kernel fusion
+  uint64_t seed = 1;
+  /// Update rule (GCN honors all three; GIN uses SGD).
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Inverted dropout rate applied after each hidden ReLU (0 disables).
+  double dropout = 0.0;
+};
+
+/// Loss and per-phase timing of one training epoch.
+struct EpochResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  PhaseBreakdown forward;
+  PhaseBreakdown backward;
+  double EpochMs() const { return forward.TotalMs() + backward.TotalMs(); }
+};
+
+/// \brief Multi-layer GCN with full forward/backward and SGD.
+class GcnModel {
+ public:
+  /// `graph` and `engine` must outlive the model. The engine's sparse
+  /// operator must be GcnNormalized(graph->adjacency).
+  GcnModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine);
+
+  /// Forward pass; caches activations for backward. Returns logits.
+  DenseMatrix Forward(PhaseBreakdown* times);
+
+  /// Backward pass from d(loss)/d(logits); fills gradients and applies SGD.
+  void Backward(const DenseMatrix& grad_logits, PhaseBreakdown* times);
+
+  /// One full epoch (forward + loss + backward + SGD).
+  EpochResult TrainEpoch();
+
+  const std::vector<DenseMatrix>& weights() const { return weights_; }
+  std::vector<DenseMatrix>& mutable_weights() { return weights_; }
+  const GnnConfig& config() const { return config_; }
+
+  /// Bytes of parameters + cached activations (Table XII common part).
+  int64_t ActivationBytes() const;
+  int64_t ParameterBytes() const;
+
+ private:
+  const Graph* graph_;
+  GnnConfig config_;
+  SpmmEngine* engine_;
+  std::vector<DenseMatrix> weights_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Pcg32 dropout_rng_{0xd509};
+  // Caches from the last Forward.
+  std::vector<DenseMatrix> inputs_;        // X_l
+  std::vector<DenseMatrix> aggregated_;    // Z_l = Abar (X_l W_l), pre-ReLU
+  std::vector<DenseMatrix> dropout_mask_;  // per hidden layer (if enabled)
+};
+
+/// Glorot-style random weight matrix.
+DenseMatrix GlorotInit(int32_t in_dim, int32_t out_dim, Pcg32* rng);
+
+}  // namespace hcspmm

@@ -1,0 +1,92 @@
+#include "gnn/optimizers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+int32_t Optimizer::AddParameter(DenseMatrix* param) {
+  HCSPMM_CHECK(param != nullptr);
+  params_.push_back(param);
+  m_.emplace_back(param->rows(), param->cols());
+  v_.emplace_back(param->rows(), param->cols());
+  return static_cast<int32_t>(params_.size()) - 1;
+}
+
+void Optimizer::Step(const std::vector<const DenseMatrix*>& grads) {
+  HCSPMM_CHECK(grads.size() == params_.size()) << "gradient count mismatch";
+  ++t_;
+  const double lr = config_.learning_rate;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    DenseMatrix& w = *params_[i];
+    const DenseMatrix& g = *grads[i];
+    HCSPMM_CHECK(w.rows() == g.rows() && w.cols() == g.cols()) << "shape mismatch";
+    auto& wd = w.mutable_data();
+    const auto& gd = g.data();
+    switch (config_.kind) {
+      case OptimizerKind::kSgd:
+        for (size_t j = 0; j < wd.size(); ++j) {
+          wd[j] -= static_cast<float>(
+              lr * (gd[j] + config_.weight_decay * wd[j]));
+        }
+        break;
+      case OptimizerKind::kMomentum: {
+        auto& md = m_[i].mutable_data();
+        for (size_t j = 0; j < wd.size(); ++j) {
+          md[j] = static_cast<float>(config_.momentum * md[j] + gd[j] +
+                                     config_.weight_decay * wd[j]);
+          wd[j] -= static_cast<float>(lr * md[j]);
+        }
+        break;
+      }
+      case OptimizerKind::kAdam: {
+        auto& md = m_[i].mutable_data();
+        auto& vd = v_[i].mutable_data();
+        const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+        const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+        for (size_t j = 0; j < wd.size(); ++j) {
+          const double grad = gd[j] + config_.weight_decay * wd[j];
+          md[j] = static_cast<float>(config_.beta1 * md[j] +
+                                     (1.0 - config_.beta1) * grad);
+          vd[j] = static_cast<float>(config_.beta2 * vd[j] +
+                                     (1.0 - config_.beta2) * grad * grad);
+          const double m_hat = md[j] / bc1;
+          const double v_hat = vd[j] / bc2;
+          wd[j] -= static_cast<float>(lr * m_hat /
+                                      (std::sqrt(v_hat) + config_.epsilon));
+        }
+        break;
+      }
+    }
+  }
+}
+
+DenseMatrix DropoutForward(DenseMatrix* activations, double rate, Pcg32* rng) {
+  DenseMatrix mask(activations->rows(), activations->cols(), 1.0f);
+  if (rate <= 0.0) return mask;
+  HCSPMM_CHECK(rate < 1.0) << "dropout rate must be < 1";
+  const float scale = static_cast<float>(1.0 / (1.0 - rate));
+  auto& data = activations->mutable_data();
+  auto& md = mask.mutable_data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (rng->NextDouble() < rate) {
+      md[i] = 0.0f;
+      data[i] = 0.0f;
+    } else {
+      data[i] *= scale;
+    }
+  }
+  return mask;
+}
+
+void DropoutBackward(DenseMatrix* grad, const DenseMatrix& mask, double rate) {
+  if (rate <= 0.0) return;
+  const float scale = static_cast<float>(1.0 / (1.0 - rate));
+  auto& gd = grad->mutable_data();
+  const auto& md = mask.data();
+  HCSPMM_CHECK(gd.size() == md.size());
+  for (size_t i = 0; i < gd.size(); ++i) gd[i] *= md[i] * scale;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,60 @@
+#include "gnn/spmm_engine.h"
+
+#include "baselines/baselines.h"
+#include "util/logging.h"
+
+namespace hcspmm {
+
+SpmmEngine::SpmmEngine(std::string kernel_name, const CsrMatrix* abar,
+                       const DeviceSpec& dev, DataType dtype)
+    : kernel_name_(std::move(kernel_name)), abar_(abar), dev_(dev), dtype_(dtype) {
+  kernel_ = MakeKernel(kernel_name_);
+  HCSPMM_CHECK(kernel_ != nullptr) << "unknown kernel: " << kernel_name_;
+
+  // Shared window statistics used by the aux-memory model.
+  const WindowedCsr windows = BuildWindows(*abar_);
+  int64_t total_unique_cols = 0;
+  for (const RowWindow& w : windows.windows) total_unique_cols += w.NumCols();
+  const int64_t condensed_bytes = total_unique_cols * 4;
+  const int64_t num_windows = static_cast<int64_t>(windows.windows.size());
+
+  if (kernel_name_ == "hcspmm") {
+    auto plan = Preprocess(*abar_, dev_, DefaultSelectorModelFor(dev_.name));
+    HCSPMM_CHECK(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(plan.ValueOrDie());
+    preprocess_ns_ = plan_->preprocess_profile.TotalNs();
+    // CSR (for CUDA windows) + condensed metadata (for Tensor windows) +
+    // the per-window boolean core array: the "additional data structure"
+    // behind Table XII's +2% / +6%.
+    aux_bytes_ = condensed_bytes + num_windows * (16 + 1) + abar_->nnz() * 3;
+  } else if (kernel_name_ == "tcgnn") {
+    preprocess_ns_ = TcGnnLikeSpmm::PreprocessNs(*abar_);
+    aux_bytes_ = condensed_bytes;  // condensed format replaces workspace
+  } else if (kernel_name_ == "dtcspmm") {
+    preprocess_ns_ = DtcSpmmLikeSpmm::PreprocessNs(*abar_, dev_);
+    aux_bytes_ = condensed_bytes + num_windows * 8;
+  } else if (kernel_name_ == "gespmm" || kernel_name_ == "sputnik" ||
+             kernel_name_ == "cusparse") {
+    aux_bytes_ = abar_->nnz() * 3;  // row-splitting / balancing workspace
+  }
+}
+
+Status SpmmEngine::Multiply(const DenseMatrix& x, DenseMatrix* z,
+                            KernelProfile* profile) const {
+  KernelProfile local;
+  Status st;
+  if (plan_) {
+    const auto* hc = static_cast<const HcSpmm*>(kernel_.get());
+    KernelOptions opts;
+    opts.dtype = dtype_;
+    st = hc->RunWithPlan(*plan_, *abar_, x, dev_, opts, z, &local);
+  } else {
+    KernelOptions opts;
+    opts.dtype = dtype_;
+    st = kernel_->Run(*abar_, x, dev_, opts, z, &local);
+  }
+  if (st.ok() && profile != nullptr) profile->Accumulate(local);
+  return st;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,69 @@
+// SpmmEngine: binds a registered SpMM kernel to one (preprocessed) sparse
+// operator for repeated use inside GNN training — the integration point of
+// SS V. For "hcspmm" the hybrid plan is built once and amortized across all
+// epochs, exactly as the paper amortizes preprocessing (Appendix F).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/hybrid_spmm.h"
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+/// Per-phase simulated time breakdown of a forward or backward pass.
+struct PhaseBreakdown {
+  double agg_ns = 0.0;          ///< Aggregation (SpMM) kernel time
+  double update_ns = 0.0;       ///< Update (GEMM) kernel time
+  double elementwise_ns = 0.0;  ///< activations and their gradients
+  double launch_ns = 0.0;       ///< kernel launch overheads
+
+  double TotalNs() const { return agg_ns + update_ns + elementwise_ns + launch_ns; }
+  double TotalMs() const { return TotalNs() / 1e6; }
+  void Add(const PhaseBreakdown& o) {
+    agg_ns += o.agg_ns;
+    update_ns += o.update_ns;
+    elementwise_ns += o.elementwise_ns;
+    launch_ns += o.launch_ns;
+  }
+};
+
+/// \brief A kernel bound to one sparse operator (the normalized adjacency).
+class SpmmEngine {
+ public:
+  /// `abar` must outlive the engine. `kernel_name` is any registry name.
+  SpmmEngine(std::string kernel_name, const CsrMatrix* abar, const DeviceSpec& dev,
+             DataType dtype);
+
+  /// z = Abar * x with metering. Appends to `profile` if non-null.
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
+
+  /// One-time preprocessing time in ns (plan building for hcspmm,
+  /// format conversion for tensor baselines, zero for CUDA kernels).
+  double PreprocessNs() const { return preprocess_ns_; }
+
+  /// Framework-specific auxiliary GPU memory (Table XII differences).
+  int64_t AuxMemoryBytes() const { return aux_bytes_; }
+
+  const std::string& kernel_name() const { return kernel_name_; }
+  const DeviceSpec& device() const { return dev_; }
+  DataType dtype() const { return dtype_; }
+  const CsrMatrix& abar() const { return *abar_; }
+
+  /// Hybrid plan (populated only for "hcspmm").
+  const HybridPlan* plan() const { return plan_ ? &*plan_ : nullptr; }
+
+ private:
+  std::string kernel_name_;
+  const CsrMatrix* abar_;
+  DeviceSpec dev_;
+  DataType dtype_;
+  std::unique_ptr<SpmmKernel> kernel_;
+  std::optional<HybridPlan> plan_;
+  double preprocess_ns_ = 0.0;
+  int64_t aux_bytes_ = 0;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,65 @@
+#include "gnn/trainer.h"
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+double TrainStats::AvgForwardMs() const {
+  if (epochs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const EpochResult& e : epochs) sum += e.forward.TotalMs();
+  return sum / epochs.size();
+}
+
+double TrainStats::AvgBackwardMs() const {
+  if (epochs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const EpochResult& e : epochs) sum += e.backward.TotalMs();
+  return sum / epochs.size();
+}
+
+double TrainStats::AvgEpochMs() const { return AvgForwardMs() + AvgBackwardMs(); }
+
+TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
+                    const std::string& kernel_name, const GnnConfig& config,
+                    const DeviceSpec& dev, int32_t epochs, DataType dtype) {
+  TrainStats stats;
+  const CsrMatrix abar = (kind == GnnModelKind::kGcn)
+                             ? GcnNormalized(graph.adjacency)
+                             : GinOperator(graph.adjacency);
+  SpmmEngine engine(kernel_name, &abar, dev, dtype);
+  stats.preprocess_ms = engine.PreprocessNs() / 1e6;
+
+  if (kind == GnnModelKind::kGcn) {
+    GcnModel model(&graph, config, &engine);
+    for (int32_t e = 0; e < epochs; ++e) stats.epochs.push_back(model.TrainEpoch());
+    stats.memory_bytes = EstimateTrainingMemoryBytes(
+        graph, abar, engine, model.ActivationBytes(), model.ParameterBytes());
+  } else {
+    GinModel model(&graph, config, &engine);
+    for (int32_t e = 0; e < epochs; ++e) stats.epochs.push_back(model.TrainEpoch());
+    stats.memory_bytes = EstimateTrainingMemoryBytes(
+        graph, abar, engine, model.ActivationBytes(), model.ParameterBytes());
+  }
+  if (!stats.epochs.empty()) {
+    stats.final_loss = stats.epochs.back().loss;
+    stats.final_accuracy = stats.epochs.back().accuracy;
+  }
+  return stats;
+}
+
+int64_t EstimateTrainingMemoryBytes(const Graph& graph, const CsrMatrix& abar,
+                                    const SpmmEngine& engine,
+                                    int64_t activation_bytes,
+                                    int64_t parameter_bytes) {
+  int64_t bytes = 0;
+  bytes += graph.features.MemoryBytes();
+  bytes += static_cast<int64_t>(graph.labels.size()) * 4;
+  bytes += abar.MemoryBytes();
+  bytes += activation_bytes;
+  bytes += parameter_bytes;
+  bytes += engine.AuxMemoryBytes();
+  return bytes;
+}
+
+}  // namespace hcspmm

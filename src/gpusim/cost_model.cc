@@ -1,0 +1,142 @@
+#include "gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/memory_model.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Effective bytes deliverable per cycle to one SM, including the L2 boost.
+double EffectiveBytesPerCycle(const DeviceSpec& dev) {
+  return dev.BytesPerCyclePerSm() * dev.l2_boost;
+}
+
+// Normalize compute throughput to the 3090's 128 CUDA cores / 4 Tensor
+// cores per SM so the calibrated constants transfer across devices.
+double CudaCoreScale(const DeviceSpec& dev) { return 128.0 / dev.cuda_cores_per_sm; }
+double TensorCoreScale(const DeviceSpec& dev) { return 4.0 / dev.tensor_cores_per_sm; }
+
+}  // namespace
+
+WindowCost CudaWindowCost(const WindowShape& w, const CudaPathTuning& t,
+                          const DeviceSpec& dev, DataType dtype) {
+  WindowCost c;
+  if (w.nnz == 0) return c;
+
+  // Effective dense dimension: without the generalization optimization the
+  // kernel rounds up to full 32-lane warp iterations; with it, to the 8-lane
+  // granularity of the adaptive mapping (SS IV-D1).
+  const int32_t dim_eff = t.generalized ? ((w.dim + 7) / 8) * 8 : ((w.dim + 31) / 32) * 32;
+  double iters = static_cast<double>(w.nnz) * dim_eff / 32.0;
+  if (!t.generalized && (w.dim % 32) != 0) {
+    iters *= (1.0 + kCudaPartialWarpPenalty);  // idle-lane replays
+  }
+
+  // Half-precision CUDA math runs at 2x rate (packed half2).
+  const double dtype_speed = (DataTypeBytes(dtype) == 2) ? 0.5 : 1.0;
+
+  double compute = iters * kCudaComputeCyclesPerIter * dtype_speed * t.compute_scale;
+  const double dim_words = dim_eff / 32.0;
+  // Memory = CSR-entry traffic (per nnz) + X-row gathers (per *distinct*
+  // column, amortized by intra-window reuse).
+  double memory_base =
+      (static_cast<double>(w.nnz) * kCudaMemCsrPerIter +
+       static_cast<double>(w.unique_cols) * kCudaMemGatherPerCol) *
+      dim_words;
+  double mem_per_iter = 0.0;
+  if (!t.shared_mem_edges) mem_per_iter += kCudaBroadcastPenaltyPerIter;
+
+  // Cache model: X gathers start missing when the window's column span
+  // times the row width exceeds what L2 can hold (absolute term), or when
+  // the span covers most of the matrix (relative term — preserves the
+  // scattered-id behaviour of AZ/DP when datasets are scaled down below
+  // L2-resident sizes).
+  const double footprint =
+      static_cast<double>(w.col_span) * w.dim * DataTypeBytes(dtype);
+  const double span_fraction =
+      w.matrix_cols > 0
+          ? static_cast<double>(w.col_span) / static_cast<double>(w.matrix_cols)
+          : 0.0;
+  const double miss = std::min(
+      1.0, footprint / kL2CapacityBytes + 0.35 * span_fraction * span_fraction);
+  mem_per_iter += kCudaUncachedExtraPerIter * miss * t.cache_sensitivity;
+
+  double memory = (memory_base + iters * mem_per_iter) * t.mem_scale;
+
+  c.compute_cycles = compute * CudaCoreScale(dev);
+  c.memory_cycles = memory * (EffectiveBytesPerCycle(Rtx3090()) / EffectiveBytesPerCycle(dev));
+  c.fma_ops = static_cast<int64_t>(w.nnz) * w.dim;
+  // CSR entries + gathered X rows (post-cache traffic estimate).
+  c.gmem_bytes = w.nnz * 8 +
+                 static_cast<int64_t>(w.unique_cols) * w.dim * DataTypeBytes(dtype);
+  if (t.shared_mem_edges) c.smem_bytes = w.nnz * 8;
+  return c;
+}
+
+WindowCost TensorWindowCost(const WindowShape& w, const TensorPathTuning& t,
+                            const DeviceSpec& dev, DataType dtype) {
+  WindowCost c;
+  if (w.nnz == 0) return c;
+
+  const int32_t tile = WmmaColTile(dtype);
+  const int32_t col_tiles = (w.unique_cols + tile - 1) / tile;
+  const int32_t dim_tiles = (w.dim + 15) / 16;
+  const double mma_cycles =
+      (tile == 8) ? kMmaCyclesTf32 : kMmaCyclesHalf;
+
+  c.mma_ops = static_cast<int64_t>(col_tiles) * dim_tiles;
+  double compute = c.mma_ops * mma_cycles * t.mma_scale * TensorCoreScale(dev) +
+                   static_cast<double>(w.nnz) * kTensorAComputePerNnz;
+
+  // X fragment loading: the padded column block times the dense dimension,
+  // in the element width of the data type. This is the Tensor-core
+  // bottleneck the paper identifies (>60% of time, ~2x the multiply).
+  const int64_t x_bytes = static_cast<int64_t>(col_tiles) * tile * w.dim *
+                          DataTypeBytes(dtype);
+  double x_cycles = static_cast<double>(x_bytes) / EffectiveBytesPerCycle(dev);
+  int64_t conflicts = 0;
+  if (!t.optimized_loading) {
+    // Fewer participating warps (kNaiveLoadFactor) plus serialized replays
+    // from the degree-2 store conflicts of the naive staging pattern.
+    const int32_t degree = NaiveFragmentStoreConflictDegree();
+    x_cycles *= kNaiveLoadFactor * (1.0 + 0.11 * (degree - 1));
+    conflicts = col_tiles * dim_tiles * 8;  // one conflicted store per fragment row
+  }
+  double memory = x_cycles * t.x_load_scale +
+                  static_cast<double>(w.nnz) * kTensorAMemPerNnz +
+                  static_cast<double>(w.nnz) * (t.a_load_per_nnz - kTensorAMemPerNnz);
+
+  c.compute_cycles = compute;
+  c.memory_cycles = memory;
+  c.gmem_bytes = x_bytes + w.nnz * 8;
+  c.smem_bytes = x_bytes + static_cast<int64_t>(col_tiles) * tile * w.rows * 4;
+  c.bank_conflicts = conflicts;
+  return c;
+}
+
+WindowCost DenseGemmCost(int32_t m, int32_t k, int32_t n, const DeviceSpec& dev,
+                         DataType dtype, int64_t* out_blocks) {
+  WindowCost c;
+  const int64_t m_tiles = (m + 15) / 16;
+  const int64_t n_tiles = (n + 15) / 16;
+  const int64_t k_tiles = (k + 15) / 16;
+  c.mma_ops = m_tiles * n_tiles * k_tiles;
+  // cuBLAS-quality GEMM: near-peak tensor utilization, operands streamed
+  // once with full reuse in shared memory.
+  c.compute_cycles = c.mma_ops * kMmaCyclesTf32 * 0.5 * TensorCoreScale(dev);
+  c.gmem_bytes = (static_cast<int64_t>(m) * k + static_cast<int64_t>(k) * n +
+                  static_cast<int64_t>(m) * n) *
+                 DataTypeBytes(dtype);
+  c.memory_cycles = static_cast<double>(c.gmem_bytes) / EffectiveBytesPerCycle(dev);
+  if (out_blocks != nullptr) {
+    // cuBLAS parallelizes skinny GEMMs with split-K reductions, so tall
+    // reduction dimensions still spread across SMs.
+    *out_blocks = m_tiles * n_tiles * ((k_tiles + 7) / 8);
+  }
+  return c;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,111 @@
+// Calibrated per-row-window cost functions for the two GPU core paths.
+//
+// The constants below are calibrated against the paper's own
+// characterization experiments (SS IV-B, Fig. 1, Table I):
+//   * CUDA-core cost is compute-bound and proportional to nnz
+//     (memory/compute ratio ~0.7-0.9, Table I);
+//   * Tensor-core cost is memory-bound and proportional to the number of
+//     non-zero columns: loading the dense X fragments costs ~2x the WMMA
+//     multiply time and >60% of the total (SS IV-B), giving memory/compute
+//     ~1.4-2.4 (Table I);
+//   * the two curves cross at ~83% sparsity for a 16x32 row window with
+//     dense dimension 32 (Fig. 1a) — a calibration test locks this in.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace hcspmm {
+
+/// Shape/statistics of one row window, the hybrid dispatch unit (SS IV-A).
+struct WindowShape {
+  int32_t rows = 16;         ///< window height (16 throughout the paper)
+  int32_t dim = 32;          ///< dense matrix dimension D
+  int64_t nnz = 0;           ///< nonzeros in the window
+  int32_t unique_cols = 0;   ///< non-zero columns after condensing
+  int32_t col_span = 0;      ///< max col - min col before condensing
+  int32_t matrix_cols = 0;   ///< width of the whole matrix (locality ratio)
+  int64_t max_row_nnz = 0;   ///< heaviest row (drives warp-serial length)
+};
+
+/// Cost of processing one window on one SM (one thread block).
+struct WindowCost {
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  int64_t fma_ops = 0;
+  int64_t mma_ops = 0;
+  int64_t gmem_bytes = 0;
+  int64_t smem_bytes = 0;
+  int64_t bank_conflicts = 0;
+  double BlockCycles() const { return compute_cycles + memory_cycles; }
+};
+
+/// Tuning knobs for the CUDA-core path (Algorithm 1 vs Algorithm 3).
+struct CudaPathTuning {
+  /// Cache CSR colInd/val in shared memory (SS IV-D1 "Memory Management").
+  bool shared_mem_edges = true;
+  /// Adaptive 8/16/32-thread row mapping for unaligned dims
+  /// (SS IV-D1 "Generalization").
+  bool generalized = true;
+  /// Multipliers letting baselines model their own kernel constants.
+  double compute_scale = 1.0;
+  double mem_scale = 1.0;
+  /// How strongly a wide column span degrades the X-gather cache hit rate
+  /// (0 disables). cuSPARSE-like kernels are highly sensitive; kernels with
+  /// row-window condensation much less so (Table I keeps m/c(C) below 1
+  /// even on Reddit-like scatter).
+  double cache_sensitivity = 0.06;
+};
+
+/// Tuning knobs for the Tensor-core path (Algorithm 2 vs Algorithm 4).
+struct TensorPathTuning {
+  /// Cooperative transposed X staging (Figure 6); otherwise the naive
+  /// Algorithm 2 load with bank conflicts and fewer participating warps.
+  bool optimized_loading = true;
+  /// Extra per-nnz *memory* cost of converting CSR into the A fragment;
+  /// baselines (TC-GNN / DTC-SpMM formats) override this. The index
+  /// arithmetic half of the conversion is charged as compute
+  /// (kTensorAComputePerNnz), which makes dense windows relatively more
+  /// compute-weighted — the Table I m/c(T) spread.
+  double a_load_per_nnz = 1.2;
+  double x_load_scale = 1.0;
+  double mma_scale = 1.0;
+};
+
+// ---- Calibrated constants (3090-normalized; see header comment) ----
+inline constexpr double kCudaComputeCyclesPerIter = 7.0;
+/// CSR-entry traffic per nnz-iteration (colInd/val loads, write-back).
+inline constexpr double kCudaMemCsrPerIter = 4.55;
+/// X-row gather per distinct column per dim-word: each unique column's
+/// 128 B row is fetched once and then reused from L1/L2 by the window's
+/// other nonzeros — this is why LOA's densification (fewer unique columns
+/// per window) also speeds up CUDA-routed windows.
+inline constexpr double kCudaMemGatherPerCol = 2.3;
+inline constexpr double kCudaBroadcastPenaltyPerIter = 0.35;  // no smem edges
+inline constexpr double kCudaPartialWarpPenalty = 0.18;       // no generalization
+inline constexpr double kCudaUncachedExtraPerIter = 14.0;     // span >> L2
+inline constexpr double kMmaCyclesTf32 = 34.0;   // per 16x8x16 WMMA
+inline constexpr double kMmaCyclesHalf = 34.0;   // per 16x16x16 WMMA
+inline constexpr double kTensorAComputePerNnz = 1.5;
+inline constexpr double kTensorAMemPerNnz = 1.0;
+inline constexpr double kNaiveLoadFactor = 1.22;  // Algorithm 2 staging
+inline constexpr double kL2BoostFactor = 1.11;    // effective B/cycle boost
+inline constexpr int64_t kL2CapacityBytes = 6 * 1024 * 1024;
+
+/// Cost of one row window on CUDA cores (Algorithms 1 / 3).
+WindowCost CudaWindowCost(const WindowShape& w, const CudaPathTuning& t,
+                          const DeviceSpec& dev, DataType dtype);
+
+/// Cost of one row window on Tensor cores (Algorithms 2 / 4).
+WindowCost TensorWindowCost(const WindowShape& w, const TensorPathTuning& t,
+                            const DeviceSpec& dev, DataType dtype);
+
+/// Cost of a dense GEMM tile computed cuBLAS-style on Tensor cores; used by
+/// the GNN Update phase. `m`,`k`,`n` are the full GEMM dimensions; the cost
+/// is returned for the whole GEMM as a list-equivalent single block count
+/// via `out_blocks` (16x16 output tiles).
+WindowCost DenseGemmCost(int32_t m, int32_t k, int32_t n, const DeviceSpec& dev,
+                         DataType dtype, int64_t* out_blocks);
+
+}  // namespace hcspmm

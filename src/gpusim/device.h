@@ -1,0 +1,64 @@
+// GPU device model: the hardware parameters the cost model consumes, with
+// presets for the three GPUs evaluated in the paper (RTX 3090 / RTX 4090 /
+// A100, Table XVI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcspmm {
+
+/// Floating-point types evaluated in the paper (Table VII). TF32 drives the
+/// 16x8x16 WMMA tile; FP16/BF16 require the coarser 16x16x16 tile.
+enum class DataType { kTf32 = 0, kFp16 = 1, kBf16 = 2, kFp32 = 3 };
+
+const char* DataTypeName(DataType t);
+
+/// Element byte width as stored in GPU memory for the dense operand.
+int32_t DataTypeBytes(DataType t);
+
+/// WMMA K/N tile width along the column axis of the sparse fragment:
+/// 8 for TF32 (16x8x16), 16 for FP16/BF16 (16x16x16). See Appendix B.
+int32_t WmmaColTile(DataType t);
+
+/// \brief Static description of a GPU.
+///
+/// The simulator expresses kernel costs in SM cycles and converts to time
+/// via `clock_ghz`. `efficiency` is a per-device derating factor capturing
+/// effects outside the analytic model (boost residency, ECC) and is
+/// calibrated against the paper's Table XVI cross-device ordering.
+struct DeviceSpec {
+  std::string name;
+  int32_t sm_count = 82;
+  int32_t cuda_cores_per_sm = 128;
+  int32_t tensor_cores_per_sm = 4;
+  double clock_ghz = 1.70;
+  double mem_bandwidth_gbps = 936.0;  // DRAM
+  int32_t shared_mem_per_sm_bytes = 100 * 1024;
+  int32_t max_warps_per_sm = 48;
+  double kernel_launch_ns = 30000.0;  // ~0.03 ms per the paper SS V-A
+  double kernel_ramp_ns = 2000.0;     // fixed pipeline fill/drain floor
+  double efficiency = 1.0;
+  /// Effective bandwidth multiplier from on-chip caches (Ada's 72 MB L2
+  /// earns the RTX 4090 a much larger boost than Ampere's 6 MB).
+  double l2_boost = 1.11;
+
+  /// DRAM bytes deliverable per SM per cycle (bandwidth share model).
+  double BytesPerCyclePerSm() const {
+    return mem_bandwidth_gbps / sm_count / clock_ghz;
+  }
+  /// Cycles -> nanoseconds under this device's clock and efficiency.
+  double CyclesToNs(double cycles) const { return cycles / (clock_ghz * efficiency); }
+};
+
+/// RTX 3090 (Ampere GA102): 82 SMs, 10496 CUDA cores, 328 Tensor cores.
+DeviceSpec Rtx3090();
+/// RTX 4090 (Ada AD102): 128 SMs, 16384 CUDA cores, 512 Tensor cores.
+DeviceSpec Rtx4090();
+/// A100-SXM (GA100): 108 SMs, 64 FP32 cores/SM. Derated per Table XVI.
+DeviceSpec A100();
+
+/// Lookup by name ("3090" | "4090" | "A100"); defaults to 3090.
+DeviceSpec DeviceByName(const std::string& name);
+
+}  // namespace hcspmm

@@ -1,0 +1,59 @@
+#include "gpusim/memory_model.h"
+
+#include <algorithm>
+#include <array>
+
+namespace hcspmm {
+
+int64_t CoalescedTransactions(int64_t base, int64_t bytes) {
+  if (bytes <= 0) return 0;
+  int64_t first = base / kGmemTransactionBytes;
+  int64_t last = (base + bytes - 1) / kGmemTransactionBytes;
+  return last - first + 1;
+}
+
+int64_t GatherTransactions(int32_t lanes, int32_t elem_bytes) {
+  int64_t per_lane = (elem_bytes + kGmemTransactionBytes - 1) / kGmemTransactionBytes;
+  return static_cast<int64_t>(lanes) * std::max<int64_t>(per_lane, 1);
+}
+
+int32_t BankConflictDegree(int32_t word_stride, int32_t active_lanes) {
+  std::vector<int64_t> addrs(active_lanes);
+  for (int32_t i = 0; i < active_lanes; ++i) addrs[i] = static_cast<int64_t>(i) * word_stride;
+  return BankConflictDegree(addrs);
+}
+
+int32_t BankConflictDegree(const std::vector<int64_t>& lane_word_addrs) {
+  // Count distinct addresses per bank; the warp is replayed once per extra
+  // distinct address in the most-contended bank. Identical addresses
+  // broadcast for free.
+  std::array<std::vector<int64_t>, kSmemBanks> per_bank;
+  for (int64_t addr : lane_word_addrs) {
+    per_bank[addr % kSmemBanks].push_back(addr);
+  }
+  int32_t worst = 1;
+  for (auto& v : per_bank) {
+    if (v.empty()) continue;
+    std::sort(v.begin(), v.end());
+    int32_t distinct = static_cast<int32_t>(std::unique(v.begin(), v.end()) - v.begin());
+    worst = std::max(worst, distinct);
+  }
+  return worst;
+}
+
+int32_t NaiveFragmentStoreConflictDegree() {
+  // Algorithm 2 staging: a warp stores two 16-element fragment rows
+  // interleaved at word stride 2, so pairs of lanes collide on even banks
+  // -> 2 serialized passes.
+  return BankConflictDegree(/*word_stride=*/2, /*active_lanes=*/kWarpSize);
+}
+
+int32_t TransposedFragmentStoreConflictDegree() {
+  // Figure 6 layout: lane i writes word (i%4)*8 + i/4 within a 32-word tile,
+  // all 32 words distinct and covering each bank exactly once.
+  std::vector<int64_t> addrs(kWarpSize);
+  for (int32_t i = 0; i < kWarpSize; ++i) addrs[i] = (i % 4) * 8 + i / 4;
+  return BankConflictDegree(addrs);
+}
+
+}  // namespace hcspmm

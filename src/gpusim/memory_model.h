@@ -1,0 +1,46 @@
+// Analytic models of the two GPU memory structures the paper's kernel
+// optimizations target: global-memory coalescing (SS III-A: 32 B / 128 B
+// transaction granularity) and shared-memory banks (32 banks x 4 B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcspmm {
+
+/// Size of one global-memory transaction with L1 enabled.
+inline constexpr int32_t kGmemTransactionBytes = 32;
+/// A full warp accessing 128 consecutive bytes coalesces into one request.
+inline constexpr int32_t kGmemCoalescedBytes = 128;
+/// Shared memory: 32 banks, 4-byte granularity (SS III-A).
+inline constexpr int32_t kSmemBanks = 32;
+inline constexpr int32_t kSmemBankBytes = 4;
+inline constexpr int32_t kWarpSize = 32;
+
+/// \brief Number of 32 B transactions needed when a warp reads `bytes`
+/// contiguous bytes starting at byte offset `base` (alignment-aware).
+int64_t CoalescedTransactions(int64_t base, int64_t bytes);
+
+/// \brief Transactions for a warp gather: each of `lanes` lanes reads
+/// `elem_bytes` at an arbitrary row; rows assumed non-adjacent, so each lane
+/// costs ceil(elem_bytes/32) transactions unless `contiguous` is set.
+int64_t GatherTransactions(int32_t lanes, int32_t elem_bytes);
+
+/// \brief Shared-memory conflict degree for a warp access with a constant
+/// stride (in 4-byte words) between consecutive lanes. Returns the number of
+/// serialized passes (1 == conflict-free, 32 == fully serialized).
+int32_t BankConflictDegree(int32_t word_stride, int32_t active_lanes = kWarpSize);
+
+/// \brief Conflict degree for an arbitrary per-lane word-address pattern.
+/// Broadcast (all lanes same address) counts as 1 pass, per SS III-A.
+int32_t BankConflictDegree(const std::vector<int64_t>& lane_word_addrs);
+
+/// \brief Data-loading pattern of the *naive* Algorithm 2 staging of an
+/// 8x16 X fragment (a warp stores two interleaved fragment rows at word
+/// stride 2): degree-2 conflicts. The optimized Figure 6 layout transposes
+/// during the store so lanes land in distinct banks (degree 1). Exposed for
+/// tests & kernels.
+int32_t NaiveFragmentStoreConflictDegree();
+int32_t TransposedFragmentStoreConflictDegree();
+
+}  // namespace hcspmm

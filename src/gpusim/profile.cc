@@ -1,0 +1,34 @@
+#include "gpusim/profile.h"
+
+#include <sstream>
+
+namespace hcspmm {
+
+void KernelProfile::Accumulate(const KernelProfile& other) {
+  time_ns += other.time_ns;
+  launch_ns += other.launch_ns;
+  launches += other.launches;
+  cuda_compute_cycles += other.cuda_compute_cycles;
+  cuda_memory_cycles += other.cuda_memory_cycles;
+  tensor_compute_cycles += other.tensor_compute_cycles;
+  tensor_memory_cycles += other.tensor_memory_cycles;
+  fma_ops += other.fma_ops;
+  mma_ops += other.mma_ops;
+  gmem_bytes += other.gmem_bytes;
+  smem_bytes += other.smem_bytes;
+  bank_conflicts += other.bank_conflicts;
+  blocks += other.blocks;
+  windows_cuda += other.windows_cuda;
+  windows_tensor += other.windows_tensor;
+}
+
+std::string KernelProfile::ToString() const {
+  std::ostringstream os;
+  os << kernel_name << ": " << time_ns / 1e3 << " us (+" << launch_ns / 1e3
+     << " us launch), blocks=" << blocks << ", fma=" << fma_ops << ", mma=" << mma_ops
+     << ", gmem=" << gmem_bytes << "B, conflicts=" << bank_conflicts
+     << ", windows C/T=" << windows_cuda << "/" << windows_tensor;
+  return os.str();
+}
+
+}  // namespace hcspmm

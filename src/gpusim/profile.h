@@ -1,0 +1,56 @@
+// Kernel execution profile: everything the cost model meters while a kernel
+// runs functionally. Benches derive Tables I, XIII, XIV, XV from these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcspmm {
+
+/// \brief Metered costs of one simulated kernel launch (or a fused group).
+struct KernelProfile {
+  std::string kernel_name;
+
+  // Simulated wall time of the kernel body (excludes launch overhead).
+  double time_ns = 0.0;
+  // Launch overheads incurred (kernel_launch_ns * launches).
+  double launch_ns = 0.0;
+  int32_t launches = 0;
+
+  // Cycle-level breakdown (summed over blocks, before SM scheduling).
+  double cuda_compute_cycles = 0.0;
+  double cuda_memory_cycles = 0.0;
+  double tensor_compute_cycles = 0.0;
+  double tensor_memory_cycles = 0.0;
+
+  // Operation counters.
+  int64_t fma_ops = 0;       // scalar CUDA-core fused multiply-adds
+  int64_t mma_ops = 0;       // warp-level WMMA tile multiplications
+  int64_t gmem_bytes = 0;    // global memory traffic after coalescing
+  int64_t smem_bytes = 0;    // shared memory traffic
+  int64_t bank_conflicts = 0;
+  int64_t blocks = 0;
+  int64_t windows_cuda = 0;    // row windows routed to CUDA cores
+  int64_t windows_tensor = 0;  // row windows routed to Tensor cores
+
+  double TotalNs() const { return time_ns + launch_ns; }
+  double TotalUs() const { return TotalNs() / 1e3; }
+  double TotalMs() const { return TotalNs() / 1e6; }
+
+  /// Memory-to-compute cost ratio on the CUDA-core path (Table I "m/c(C)").
+  double CudaMemToCompute() const {
+    return cuda_compute_cycles > 0 ? cuda_memory_cycles / cuda_compute_cycles : 0.0;
+  }
+  /// Memory-to-compute cost ratio on the Tensor-core path (Table I "m/c(T)").
+  double TensorMemToCompute() const {
+    return tensor_compute_cycles > 0 ? tensor_memory_cycles / tensor_compute_cycles
+                                     : 0.0;
+  }
+
+  /// Merge another profile into this one (kernel fusion / multi-launch).
+  void Accumulate(const KernelProfile& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace hcspmm

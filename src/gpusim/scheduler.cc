@@ -1,0 +1,77 @@
+#include "gpusim/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+double ScheduleBlocks(const std::vector<double>& block_cycles, int32_t sm_count) {
+  HCSPMM_CHECK(sm_count > 0);
+  if (block_cycles.empty()) return 0.0;
+  double total = 0.0;
+  double max_block = 0.0;
+  for (double cycles : block_cycles) {
+    total += cycles;
+    max_block = std::max(max_block, cycles);
+  }
+  const double num_blocks = static_cast<double>(block_cycles.size());
+  const double active_sms = std::min<double>(num_blocks, sm_count);
+  const double throughput_bound = total / active_sms;
+  // A straggler block only overlaps with other blocks when the grid is big
+  // enough to keep its SM multiply-occupied.
+  const double overlap =
+      std::clamp(num_blocks / sm_count, 1.0, kMaxBlockOverlap);
+  const double latency_bound = max_block / overlap;
+  return std::max(throughput_bound, latency_bound);
+}
+
+KernelCostAccumulator::KernelCostAccumulator(std::string kernel_name,
+                                             const DeviceSpec& device)
+    : name_(std::move(kernel_name)), device_(device) {
+  partial_.kernel_name = name_;
+}
+
+void KernelCostAccumulator::AddBlock(const WindowCost& cost, bool on_tensor) {
+  block_cycles_.push_back(cost.BlockCycles());
+  if (on_tensor) {
+    partial_.tensor_compute_cycles += cost.compute_cycles;
+    partial_.tensor_memory_cycles += cost.memory_cycles;
+    partial_.windows_tensor += 1;
+  } else {
+    partial_.cuda_compute_cycles += cost.compute_cycles;
+    partial_.cuda_memory_cycles += cost.memory_cycles;
+    partial_.windows_cuda += 1;
+  }
+  partial_.fma_ops += cost.fma_ops;
+  partial_.mma_ops += cost.mma_ops;
+  partial_.gmem_bytes += cost.gmem_bytes;
+  partial_.smem_bytes += cost.smem_bytes;
+  partial_.bank_conflicts += cost.bank_conflicts;
+  partial_.blocks += 1;
+}
+
+void KernelCostAccumulator::AddGemm(const WindowCost& cost, int64_t blocks) {
+  blocks = std::max<int64_t>(blocks, 1);
+  const double per_block = cost.BlockCycles() / blocks;
+  for (int64_t i = 0; i < blocks; ++i) block_cycles_.push_back(per_block);
+  partial_.tensor_compute_cycles += cost.compute_cycles;
+  partial_.tensor_memory_cycles += cost.memory_cycles;
+  partial_.fma_ops += cost.fma_ops;
+  partial_.mma_ops += cost.mma_ops;
+  partial_.gmem_bytes += cost.gmem_bytes;
+  partial_.smem_bytes += cost.smem_bytes;
+  partial_.blocks += blocks;
+}
+
+void KernelCostAccumulator::Finalize(KernelProfile* profile, int32_t launches) const {
+  *profile = partial_;
+  const double makespan = ScheduleBlocks(block_cycles_, device_.sm_count);
+  profile->time_ns = device_.CyclesToNs(makespan);
+  if (!block_cycles_.empty()) profile->time_ns += device_.kernel_ramp_ns;
+  profile->launches = launches;
+  profile->launch_ns = launches * device_.kernel_launch_ns;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,56 @@
+// SM scheduler: converts per-block work into a kernel makespan. GPUs keep
+// several blocks resident per SM, so a single heavy (hub-window) block
+// overlaps with its SM's other blocks instead of serializing the kernel;
+// the makespan is the larger of the throughput bound (total work spread
+// over the active SMs) and the latency bound (the heaviest block divided by
+// the achievable block-level overlap).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device.h"
+#include "gpusim/profile.h"
+
+namespace hcspmm {
+
+/// Maximum concurrently-resident blocks an SM can overlap a straggler with.
+inline constexpr double kMaxBlockOverlap = 8.0;
+
+/// Makespan (in cycles) of scheduling `block_cycles` onto `sm_count` SMs.
+double ScheduleBlocks(const std::vector<double>& block_cycles, int32_t sm_count);
+
+/// \brief Accumulates per-block window costs during a kernel's functional
+/// execution and converts them into a KernelProfile at the end.
+///
+/// Usage inside a kernel:
+///   KernelCostAccumulator acc("my_kernel", device);
+///   for each window:  acc.AddBlock(cost, /*on_tensor=*/...);
+///   acc.Finalize(&profile);
+class KernelCostAccumulator {
+ public:
+  KernelCostAccumulator(std::string kernel_name, const DeviceSpec& device);
+
+  /// Record one thread block's cost. `on_tensor` tags which core type ran it
+  /// (for the per-core cycle breakdown and window counts).
+  void AddBlock(const WindowCost& cost, bool on_tensor);
+
+  /// Record a whole dense GEMM (Update phase): cost is spread over `blocks`
+  /// equal blocks for scheduling purposes.
+  void AddGemm(const WindowCost& cost, int64_t blocks);
+
+  /// Convert to a profile; `launches` counts kernel-launch overheads to
+  /// charge (0 for a fused segment that piggybacks on another launch).
+  void Finalize(KernelProfile* profile, int32_t launches = 1) const;
+
+  const DeviceSpec& device() const { return device_; }
+
+ private:
+  std::string name_;
+  DeviceSpec device_;
+  std::vector<double> block_cycles_;
+  KernelProfile partial_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,50 @@
+// Registry of the paper's 14 evaluation datasets (Table II), realized as
+// synthetic graphs that match each dataset's scale (optionally scaled
+// down), average degree, feature dimension and structural character:
+//   * citation/web/social graphs (CS, CR, PM, GH, RD, TT, CP)  -> power law
+//   * TUDataset molecule unions (PT, DD, YS, OC, YH)           -> block
+//     communities with contiguous ids (high locality)
+//   * AZ and DP additionally get scattered vertex ids, modelling the poor
+//     adjacency-list locality the paper reports for them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// Structural family used to synthesize a dataset.
+enum class DatasetKind { kPowerLaw, kMolecule };
+
+/// One row of Table II plus synthesis parameters.
+struct DatasetSpec {
+  std::string code;        ///< two-letter code used in the paper's plots
+  std::string full_name;
+  int64_t paper_vertices;
+  int64_t paper_edges;
+  int32_t feature_dim;
+  DatasetKind kind;
+  bool scattered;          ///< poor id locality (AZ, DP)
+  int32_t community_size;  ///< for kMolecule
+};
+
+/// All 14 datasets in Table II order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by code ("CS", "CR", ...).
+Result<DatasetSpec> DatasetByCode(const std::string& code);
+
+/// Synthesize the dataset at `scale` (1.0 = paper-size vertex count; the
+/// edge count scales proportionally). Deterministic for a (code, scale,
+/// seed) triple.
+Graph LoadDataset(const DatasetSpec& spec, double scale = 1.0, uint64_t seed = 42);
+
+/// Synthesize with at most `max_edges` directed edges (scale chosen
+/// automatically) — the benches use this to stay laptop-fast.
+Graph LoadDatasetCapped(const DatasetSpec& spec, int64_t max_edges = 300000,
+                        uint64_t seed = 42);
+
+}  // namespace hcspmm

@@ -1,0 +1,32 @@
+// Synthetic graph generators that control the performance-relevant
+// properties the paper's datasets differ in: degree distribution (power
+// law vs near-uniform), community structure (TUDataset molecule unions are
+// block-diagonal with excellent locality) and vertex-id locality.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hcspmm {
+
+/// Erdős–Rényi G(n, m): `num_edges` undirected edges placed uniformly.
+Graph ErdosRenyi(int32_t n, int64_t num_edges, int32_t feature_dim, Pcg32* rng);
+
+/// Barabási–Albert-style preferential attachment targeting `num_edges`
+/// undirected edges in total (power-law degree distribution; models social
+/// / citation graphs such as GH, RD, TT, CP).
+Graph BarabasiAlbert(int32_t n, int64_t num_edges, int32_t feature_dim, Pcg32* rng);
+
+/// Union of dense communities of `community_size` +- jitter vertices with
+/// contiguous ids, each internally wired to the target average degree, and
+/// a small fraction of inter-community edges. Models TUDataset molecule
+/// collections (PT, DD, YS, OC, YH): block-diagonal, high locality.
+Graph MoleculeUnion(int32_t n, int64_t num_edges, int32_t community_size,
+                    int32_t feature_dim, Pcg32* rng);
+
+/// R-MAT recursive generator (a=0.57 b=0.19 c=0.19 d=0.05 defaults).
+Graph RMat(int32_t scale_log2, int64_t num_edges, int32_t feature_dim, Pcg32* rng,
+           double a = 0.57, double b = 0.19, double c = 0.19);
+
+}  // namespace hcspmm

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/logging.h"
+
+namespace hcspmm {
+
+Graph GraphFromEdges(std::string name, int32_t num_vertices,
+                     const std::vector<std::pair<int32_t, int32_t>>& edges,
+                     int32_t feature_dim, int32_t num_classes, Pcg32* rng) {
+  Graph g;
+  g.name = std::move(name);
+  g.num_vertices = num_vertices;
+  g.feature_dim = feature_dim;
+  g.num_classes = num_classes;
+
+  CooMatrix coo(num_vertices, num_vertices);
+  coo.Reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;  // drop self loops
+    HCSPMM_CHECK(u >= 0 && u < num_vertices && v >= 0 && v < num_vertices)
+        << "edge endpoint out of range";
+    coo.Add(u, v, 1.0f);
+    coo.Add(v, u, 1.0f);
+  }
+  CsrMatrix csr = CooToCsr(coo);
+  // CooToCsr sums duplicates; reset weights to 1.
+  for (float& v : csr.mutable_val()) v = 1.0f;
+  g.adjacency = std::move(csr);
+
+  g.labels.resize(num_vertices);
+  for (int32_t v = 0; v < num_vertices; ++v) {
+    g.labels[v] = static_cast<int32_t>(rng->NextBounded(num_classes));
+  }
+  AttachSyntheticFeatures(&g, rng);
+  return g;
+}
+
+CsrMatrix GcnNormalized(const CsrMatrix& adjacency) {
+  HCSPMM_CHECK(adjacency.rows() == adjacency.cols());
+  const int32_t n = adjacency.rows();
+  // A + I
+  CooMatrix coo = CsrToCoo(adjacency);
+  for (int32_t v = 0; v < n; ++v) coo.Add(v, v, 1.0f);
+  CsrMatrix a_hat = CooToCsr(coo);
+
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (int32_t r = 0; r < n; ++r) {
+    double deg = 0.0;
+    for (int64_t k = a_hat.RowBegin(r); k < a_hat.RowEnd(r); ++k) {
+      deg += a_hat.val()[k];
+    }
+    inv_sqrt_deg[r] = deg > 0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  std::vector<float>& vals = a_hat.mutable_val();
+  for (int32_t r = 0; r < n; ++r) {
+    for (int64_t k = a_hat.RowBegin(r); k < a_hat.RowEnd(r); ++k) {
+      vals[k] = static_cast<float>(vals[k] * inv_sqrt_deg[r] *
+                                   inv_sqrt_deg[a_hat.col_ind()[k]]);
+    }
+  }
+  return a_hat;
+}
+
+CsrMatrix GinOperator(const CsrMatrix& adjacency, double eps) {
+  HCSPMM_CHECK(adjacency.rows() == adjacency.cols());
+  CooMatrix coo = CsrToCoo(adjacency);
+  for (int32_t v = 0; v < adjacency.rows(); ++v) {
+    coo.Add(v, v, static_cast<float>(1.0 + eps));
+  }
+  return CooToCsr(coo);
+}
+
+Graph ScatterIds(const Graph& g, Pcg32* rng) {
+  std::vector<int32_t> perm(g.num_vertices);
+  for (int32_t i = 0; i < g.num_vertices; ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+
+  Graph out;
+  out.name = g.name;
+  out.num_vertices = g.num_vertices;
+  out.feature_dim = g.feature_dim;
+  out.num_classes = g.num_classes;
+  out.adjacency = PermuteSymmetric(g.adjacency, perm);
+  out.labels.resize(g.num_vertices);
+  out.features = DenseMatrix(g.num_vertices, g.feature_dim);
+  for (int32_t v = 0; v < g.num_vertices; ++v) {
+    out.labels[perm[v]] = g.labels[v];
+    for (int32_t j = 0; j < g.feature_dim; ++j) {
+      out.features.At(perm[v], j) = g.features.At(v, j);
+    }
+  }
+  return out;
+}
+
+void AttachSyntheticFeatures(Graph* g, Pcg32* rng) {
+  g->features = DenseMatrix(g->num_vertices, g->feature_dim);
+  for (int32_t v = 0; v < g->num_vertices; ++v) {
+    const int32_t label = g->labels.empty() ? 0 : g->labels[v];
+    for (int32_t j = 0; j < g->feature_dim; ++j) {
+      // Class-dependent mean in a label-specific coordinate plus noise.
+      const double mean = (j % g->num_classes == label % g->num_classes) ? 0.8 : 0.0;
+      g->features.At(v, j) = static_cast<float>(mean + 0.3 * rng->NextGaussian());
+    }
+  }
+}
+
+}  // namespace hcspmm

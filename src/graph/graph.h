@@ -1,0 +1,56 @@
+// Graph data structure shared by the GNN pipeline, the layout optimizer and
+// the dataset registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "util/random.h"
+
+namespace hcspmm {
+
+/// \brief An undirected graph with node features and labels.
+///
+/// `adjacency` stores both edge directions (value 1.0, no self loops);
+/// GNN code derives the normalized operator from it via GcnNormalized().
+struct Graph {
+  std::string name;
+  int32_t num_vertices = 0;
+  CsrMatrix adjacency;
+  int32_t feature_dim = 0;
+  int32_t num_classes = 22;  ///< paper: "we uniformly use 22"
+  DenseMatrix features;              ///< |V| x feature_dim
+  std::vector<int32_t> labels;       ///< |V|, in [0, num_classes)
+
+  /// Directed edge count (nnz of the adjacency).
+  int64_t NumEdges() const { return adjacency.nnz(); }
+  double AvgDegree() const {
+    return num_vertices > 0 ? static_cast<double>(NumEdges()) / num_vertices : 0.0;
+  }
+};
+
+/// Build a Graph from an edge list (mirrored, deduplicated, self loops
+/// dropped) and attach class-correlated synthetic features/labels.
+Graph GraphFromEdges(std::string name, int32_t num_vertices,
+                     const std::vector<std::pair<int32_t, int32_t>>& edges,
+                     int32_t feature_dim, int32_t num_classes, Pcg32* rng);
+
+/// GCN propagation operator: D^{-1/2} (A + I) D^{-1/2} (Kipf & Welling).
+CsrMatrix GcnNormalized(const CsrMatrix& adjacency);
+
+/// Adjacency plus weighted self loops (A + (1+eps) I) — the GIN operator.
+CsrMatrix GinOperator(const CsrMatrix& adjacency, double eps = 0.0);
+
+/// Relabel all vertices with a random permutation (destroys id locality —
+/// models the scattered adjacency lists of AZ/DP).
+Graph ScatterIds(const Graph& g, Pcg32* rng);
+
+/// Attach class-correlated features: X[v] = mean(label) + noise. Makes the
+/// synthetic node-classification task learnable.
+void AttachSyntheticFeatures(Graph* g, Pcg32* rng);
+
+}  // namespace hcspmm

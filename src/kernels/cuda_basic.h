@@ -1,0 +1,17 @@
+// Algorithm 1: the straightforward CUDA-core SpMM (one thread per output
+// element, CSR traversal, no shared-memory caching, warp-per-row mapping).
+#pragma once
+
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+class CudaBasicSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "cuda_basic"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,38 @@
+#include "kernels/cuda_optimized.h"
+
+#include "gpusim/scheduler.h"
+
+namespace hcspmm {
+
+WindowCost CudaOptimizedSpmm::WindowCostFor(const WindowShape& shape,
+                                            const DeviceSpec& dev,
+                                            DataType dtype) const {
+  CudaPathTuning tuning;
+  tuning.shared_mem_edges = shared_mem_edges_;
+  tuning.generalized = generalized_;
+  return CudaWindowCost(shape, tuning, dev, dtype);
+}
+
+Status CudaOptimizedSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
+                              const DeviceSpec& dev, const KernelOptions& opts,
+                              DenseMatrix* z, KernelProfile* profile) const {
+  if (a.cols() != x.rows()) {
+    return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
+  }
+  *z = DenseMatrix(a.rows(), x.cols());
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z);
+
+  if (profile != nullptr) {
+    WindowedCsr windows = BuildWindows(a);
+    KernelCostAccumulator acc(name(), dev);
+    for (const RowWindow& w : windows.windows) {
+      if (w.nnz == 0) continue;
+      acc.AddBlock(WindowCostFor(w.Shape(x.cols()), dev, opts.dtype),
+                   /*on_tensor=*/false);
+    }
+    acc.Finalize(profile);
+  }
+  return Status::OK();
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,32 @@
+// Algorithm 3: the optimized CUDA-core SpMM with shared-memory edge caching
+// (SS IV-D1 "Memory Management") and the adaptive 8/16/32-thread row mapping
+// for dense dimensions that are not multiples of 32 ("Generalization").
+#pragma once
+
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+class CudaOptimizedSpmm : public SpmmKernel {
+ public:
+  /// Individual optimizations can be toggled for the ablation benches
+  /// (Tables III and IV).
+  CudaOptimizedSpmm(bool shared_mem_edges = true, bool generalized = true)
+      : shared_mem_edges_(shared_mem_edges), generalized_(generalized) {}
+
+  std::string name() const override { return "cuda_opt"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+
+  /// Cost of one row window under this kernel's tuning (used by the hybrid
+  /// dispatcher and the core-selection training pipeline).
+  WindowCost WindowCostFor(const WindowShape& shape, const DeviceSpec& dev,
+                           DataType dtype) const;
+
+ private:
+  bool shared_mem_edges_;
+  bool generalized_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,63 @@
+#include "kernels/spmm_kernel.h"
+
+#include "baselines/baselines.h"
+#include "core/fine_grained_hybrid.h"
+#include "core/hybrid_spmm.h"
+#include "gpusim/precision.h"
+#include "kernels/cuda_basic.h"
+#include "kernels/cuda_optimized.h"
+#include "kernels/tensor_basic.h"
+#include "kernels/tensor_optimized.h"
+
+namespace hcspmm {
+
+namespace internal {
+
+void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
+                     int32_t row_end, DataType dtype, DenseMatrix* z) {
+  const int32_t dim = x.cols();
+  if (dtype == DataType::kFp32) {
+    for (int32_t r = row_begin; r < row_end; ++r) {
+      float* zr = z->MutableRowData(r);
+      for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+        const float v = a.val()[k];
+        const float* xr = x.RowData(a.col_ind()[k]);
+        for (int32_t j = 0; j < dim; ++j) zr[j] += v * xr[j];
+      }
+    }
+    return;
+  }
+  for (int32_t r = row_begin; r < row_end; ++r) {
+    float* zr = z->MutableRowData(r);
+    for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      const float v = RoundTo(dtype, a.val()[k]);
+      const float* xr = x.RowData(a.col_ind()[k]);
+      for (int32_t j = 0; j < dim; ++j) zr[j] += v * RoundTo(dtype, xr[j]);
+    }
+  }
+}
+
+}  // namespace internal
+
+std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name) {
+  if (name == "cuda_basic") return std::make_unique<CudaBasicSpmm>();
+  if (name == "cuda_opt") return std::make_unique<CudaOptimizedSpmm>();
+  if (name == "tensor_basic") return std::make_unique<TensorBasicSpmm>();
+  if (name == "tensor_opt") return std::make_unique<TensorOptimizedSpmm>();
+  if (name == "hcspmm") return std::make_unique<HcSpmm>();
+  if (name == "hybrid_fine") return std::make_unique<FineGrainedHybridSpmm>();
+  if (name == "cusparse") return std::make_unique<CusparseLikeSpmm>();
+  if (name == "sputnik") return std::make_unique<SputnikLikeSpmm>();
+  if (name == "gespmm") return std::make_unique<GeSpmmLikeSpmm>();
+  if (name == "tcgnn") return std::make_unique<TcGnnLikeSpmm>();
+  if (name == "dtcspmm") return std::make_unique<DtcSpmmLikeSpmm>();
+  return nullptr;
+}
+
+std::vector<std::string> KernelNames() {
+  return {"cuda_basic", "cuda_opt", "tensor_basic", "tensor_opt",
+          "hcspmm",     "hybrid_fine", "cusparse",   "sputnik",
+          "gespmm",     "tcgnn",       "dtcspmm"};
+}
+
+}  // namespace hcspmm

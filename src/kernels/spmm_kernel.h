@@ -1,0 +1,59 @@
+// Common interface implemented by every SpMM kernel in the library —
+// the paper's four kernels (Algorithms 1-4), the HC-SpMM hybrid dispatcher,
+// and the five baseline re-implementations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/row_window.h"
+#include "gpusim/device.h"
+#include "gpusim/profile.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// Per-run options shared by all kernels.
+struct KernelOptions {
+  /// Storage/compute type of the Tensor-core path. kFp32 disables rounding
+  /// (useful for bit-exact correctness tests); the paper's default is TF32.
+  DataType dtype = DataType::kTf32;
+};
+
+/// \brief Abstract SpMM kernel: computes Z = A * X functionally on the host
+/// while metering its simulated GPU cost into a KernelProfile.
+class SpmmKernel {
+ public:
+  virtual ~SpmmKernel() = default;
+
+  /// Stable kernel identifier (used by the registry and bench output).
+  virtual std::string name() const = 0;
+
+  /// Compute z = a * x. `z` is resized/overwritten. `profile` receives the
+  /// simulated cost; pass nullptr to skip metering details (time still not
+  /// returned then — callers normally want the profile).
+  virtual Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+                     const KernelOptions& opts, DenseMatrix* z,
+                     KernelProfile* profile) const = 0;
+};
+
+namespace internal {
+
+/// Functional CSR SpMM over a row range with operand rounding emulating the
+/// requested data type (accumulation stays FP32, as on real WMMA hardware).
+void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
+                     int32_t row_end, DataType dtype, DenseMatrix* z);
+
+}  // namespace internal
+
+/// Look up a kernel by name. Known names: "cuda_basic", "cuda_opt",
+/// "tensor_basic", "tensor_opt", "hcspmm", "cusparse", "sputnik", "gespmm",
+/// "tcgnn", "dtcspmm". Returns nullptr for unknown names.
+std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name);
+
+/// All registered kernel names in a stable order.
+std::vector<std::string> KernelNames();
+
+}  // namespace hcspmm

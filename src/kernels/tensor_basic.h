@@ -1,0 +1,18 @@
+// Algorithm 2: the straightforward Tensor-core SpMM — each row window is
+// traversed in 16x8 blocks (TF32 WMMA granularity), X fragments staged
+// naively into shared memory (bank conflicts, single-warp loads).
+#pragma once
+
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+class TensorBasicSpmm : public SpmmKernel {
+ public:
+  std::string name() const override { return "tensor_basic"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+};
+
+}  // namespace hcspmm

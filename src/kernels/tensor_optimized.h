@@ -1,0 +1,29 @@
+// Algorithm 4: the optimized Tensor-core SpMM with the cooperative
+// transposed X-fragment staging of Figure 6 (all warps participate,
+// bank-conflict-free stores).
+#pragma once
+
+#include "kernels/spmm_kernel.h"
+
+namespace hcspmm {
+
+class TensorOptimizedSpmm : public SpmmKernel {
+ public:
+  explicit TensorOptimizedSpmm(bool optimized_loading = true)
+      : optimized_loading_(optimized_loading) {}
+
+  std::string name() const override { return "tensor_opt"; }
+  Status Run(const CsrMatrix& a, const DenseMatrix& x, const DeviceSpec& dev,
+             const KernelOptions& opts, DenseMatrix* z,
+             KernelProfile* profile) const override;
+
+  /// Cost of one row window under this kernel's tuning (used by the hybrid
+  /// dispatcher and the core-selection training pipeline).
+  WindowCost WindowCostFor(const WindowShape& shape, const DeviceSpec& dev,
+                           DataType dtype) const;
+
+ private:
+  bool optimized_loading_;
+};
+
+}  // namespace hcspmm

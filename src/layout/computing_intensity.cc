@@ -1,0 +1,45 @@
+#include "layout/computing_intensity.h"
+
+#include <algorithm>
+
+#include "core/row_window.h"
+
+namespace hcspmm {
+
+double WindowComputingIntensity(const CsrMatrix& adj,
+                                const std::vector<int32_t>& vertices) {
+  std::vector<int32_t> cols;
+  int64_t elements = 0;
+  for (int32_t v : vertices) {
+    elements += adj.RowNnz(v);
+    for (int64_t k = adj.RowBegin(v); k < adj.RowEnd(v); ++k) {
+      cols.push_back(adj.col_ind()[k]);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  if (cols.empty()) return 0.0;
+  return static_cast<double>(elements) / static_cast<double>(cols.size());
+}
+
+double IncrementalIntensity(int64_t cur_elements, int64_t cur_cols, int64_t deg_v,
+                            int64_t overlap_v) {
+  const int64_t denom = cur_cols + deg_v - overlap_v;
+  if (denom <= 0) return 0.0;
+  return static_cast<double>(cur_elements + deg_v) / static_cast<double>(denom);
+}
+
+double MeanWindowIntensity(const CsrMatrix& adj, int32_t window_height) {
+  WindowedCsr windows = BuildWindows(adj, window_height);
+  if (windows.windows.empty()) return 0.0;
+  double sum = 0.0;
+  int64_t counted = 0;
+  for (const RowWindow& w : windows.windows) {
+    if (w.nnz == 0) continue;
+    sum += w.ComputingIntensity();
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,28 @@
+// Computing intensity (Equation 5): #nonzero elements / #nonzero columns of
+// a row window — the objective LOA greedily maximizes. Higher intensity
+// means a denser window layout, better suited to Tensor cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace hcspmm {
+
+/// Intensity of the (virtual) row window formed by grouping `vertices`:
+/// sum of their degrees divided by the size of their neighbor union.
+/// Returns 0 for an empty union.
+double WindowComputingIntensity(const CsrMatrix& adj,
+                                const std::vector<int32_t>& vertices);
+
+/// Incremental form (Equation 6): intensity of RW ∪ {v} given the current
+/// window's element count, column count, |N(v)| and |N(v) ∩ cols(RW)|.
+double IncrementalIntensity(int64_t cur_elements, int64_t cur_cols, int64_t deg_v,
+                            int64_t overlap_v);
+
+/// Mean computing intensity over all row windows of `adj` under the current
+/// row order (used to quantify LOA's effect).
+double MeanWindowIntensity(const CsrMatrix& adj, int32_t window_height = 16);
+
+}  // namespace hcspmm

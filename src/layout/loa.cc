@@ -1,0 +1,239 @@
+#include "layout/loa.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/row_window.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/scheduler.h"
+#include "layout/computing_intensity.h"
+#include "sparse/convert.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Vertices sorted by the smallest neighbor id (line 2 of Algorithms 5/6);
+// isolated vertices sort last.
+std::vector<int32_t> SortByMinNeighbor(const CsrMatrix& adj) {
+  std::vector<int32_t> so_list(adj.rows());
+  std::iota(so_list.begin(), so_list.end(), 0);
+  std::vector<int32_t> min_nb(adj.rows(), std::numeric_limits<int32_t>::max());
+  for (int32_t v = 0; v < adj.rows(); ++v) {
+    if (adj.RowNnz(v) > 0) min_nb[v] = adj.col_ind()[adj.RowBegin(v)];
+  }
+  std::stable_sort(so_list.begin(), so_list.end(), [&](int32_t a, int32_t b) {
+    if (min_nb[a] != min_nb[b]) return min_nb[a] < min_nb[b];
+    return a < b;
+  });
+  return so_list;
+}
+
+LoaResult FinishResult(const CsrMatrix& adj, std::vector<int32_t> order,
+                       double elapsed_ms) {
+  LoaResult result;
+  result.order = std::move(order);
+  result.perm.assign(adj.rows(), 0);
+  for (int32_t i = 0; i < adj.rows(); ++i) result.perm[result.order[i]] = i;
+  result.elapsed_ms = elapsed_ms;
+  return result;
+}
+
+}  // namespace
+
+LoaResult RunLoa(const CsrMatrix& adj, const LoaConfig& config) {
+  HCSPMM_CHECK(adj.rows() == adj.cols()) << "LOA expects a square adjacency";
+  WallTimer timer;
+  const int32_t n = adj.rows();
+  const std::vector<int32_t> so_list = SortByMinNeighbor(adj);
+  std::vector<int32_t> pos_in_so(n);
+  for (int32_t i = 0; i < n; ++i) pos_in_so[so_list[i]] = i;
+
+  std::vector<bool> visited(n, false);
+  // Epoch-stamped scratch: cns[v] = |N(v) ∩ allCols| for the current window.
+  std::vector<int32_t> cns(n, 0);
+  std::vector<int32_t> cns_epoch(n, -1);
+  // Epoch-stamped membership of allCols.
+  std::vector<int32_t> col_epoch(n, -1);
+
+  std::vector<int32_t> order;
+  order.reserve(n);
+  int32_t cursor = 0;  // first possibly-unvisited index in so_list
+  int32_t window_id = 0;
+
+  while (static_cast<int32_t>(order.size()) < n) {
+    while (cursor < n && visited[so_list[cursor]]) ++cursor;
+    if (cursor >= n) break;
+    const int32_t v0 = so_list[cursor];
+    visited[v0] = true;
+    order.push_back(v0);
+
+    int64_t cur_eles = adj.RowNnz(v0);
+    int64_t cur_cols = 0;
+    std::vector<int32_t> resi;  // newly added columns since last cns update
+    for (int64_t k = adj.RowBegin(v0); k < adj.RowEnd(v0); ++k) {
+      const int32_t c = adj.col_ind()[k];
+      if (col_epoch[c] != window_id) {
+        col_epoch[c] = window_id;
+        resi.push_back(c);
+        ++cur_cols;
+      }
+    }
+
+    for (int32_t slot = 1; slot < config.window_height; ++slot) {
+      if (static_cast<int32_t>(order.size()) >= n) break;
+      // Lines 7-9 of Algorithm 6: fold the residual columns into cns by
+      // walking their adjacency once (|N(v) ∩ allCols| accumulates).
+      for (int32_t u : resi) {
+        for (int64_t k = adj.RowBegin(u); k < adj.RowEnd(u); ++k) {
+          const int32_t w = adj.col_ind()[k];
+          if (cns_epoch[w] != window_id) {
+            cns_epoch[w] = window_id;
+            cns[w] = 0;
+          }
+          cns[w]++;
+        }
+      }
+      resi.clear();
+
+      // Lines 10-14: scan up to VW unvisited candidates after v0's slot.
+      double max_p = -1.0;
+      int32_t vmax = -1;
+      int64_t vmax_deg = -1;
+      int32_t scanned = 0;
+      for (int32_t j = cursor; j < n && scanned < config.vertex_window; ++j) {
+        const int32_t v = so_list[j];
+        if (visited[v]) continue;
+        ++scanned;
+        const int64_t deg = adj.RowNnz(v);
+        const int64_t overlap = (cns_epoch[v] == window_id) ? cns[v] : 0;
+        const double p = IncrementalIntensity(cur_eles, cur_cols, deg, overlap);
+        // Ties broken toward higher degree (lines 7-8 of Algorithm 5).
+        if (p > max_p + 1e-12 || (p > max_p - 1e-12 && deg > vmax_deg)) {
+          max_p = p;
+          vmax = v;
+          vmax_deg = deg;
+        }
+      }
+      if (vmax < 0) break;
+
+      visited[vmax] = true;
+      order.push_back(vmax);
+      cur_eles += adj.RowNnz(vmax);
+      for (int64_t k = adj.RowBegin(vmax); k < adj.RowEnd(vmax); ++k) {
+        const int32_t c = adj.col_ind()[k];
+        if (col_epoch[c] != window_id) {
+          col_epoch[c] = window_id;
+          resi.push_back(c);  // Resi <- N(vmax) - allCols (line 16)
+          ++cur_cols;
+        }
+      }
+    }
+    ++window_id;
+  }
+  return FinishResult(adj, std::move(order), timer.ElapsedMs());
+}
+
+LoaResult RunLayoutReformatBasic(const CsrMatrix& adj, const LoaConfig& config) {
+  HCSPMM_CHECK(adj.rows() == adj.cols()) << "layout expects a square adjacency";
+  WallTimer timer;
+  const int32_t n = adj.rows();
+  const std::vector<int32_t> so_list = SortByMinNeighbor(adj);
+  std::vector<bool> visited(n, false);
+  std::vector<int32_t> order;
+  order.reserve(n);
+  int32_t cursor = 0;
+
+  std::vector<int32_t> rw;
+  while (static_cast<int32_t>(order.size()) < n) {
+    while (cursor < n && visited[so_list[cursor]]) ++cursor;
+    if (cursor >= n) break;
+    rw.clear();
+    const int32_t v0 = so_list[cursor];
+    visited[v0] = true;
+    rw.push_back(v0);
+    order.push_back(v0);
+
+    for (int32_t slot = 1; slot < config.window_height; ++slot) {
+      if (static_cast<int32_t>(order.size()) >= n) break;
+      double max_p = -1.0;
+      int32_t vmax = -1;
+      int64_t vmax_deg = -1;
+      int32_t scanned = 0;
+      for (int32_t j = cursor; j < n && scanned < config.vertex_window; ++j) {
+        const int32_t v = so_list[j];
+        if (visited[v]) continue;
+        ++scanned;
+        rw.push_back(v);
+        const double p = WindowComputingIntensity(adj, rw);  // brute force
+        rw.pop_back();
+        const int64_t deg = adj.RowNnz(v);
+        if (p > max_p + 1e-12 || (p > max_p - 1e-12 && deg > vmax_deg)) {
+          max_p = p;
+          vmax = v;
+          vmax_deg = deg;
+        }
+      }
+      if (vmax < 0) break;
+      visited[vmax] = true;
+      rw.push_back(vmax);
+      order.push_back(vmax);
+    }
+  }
+  return FinishResult(adj, std::move(order), timer.ElapsedMs());
+}
+
+CsrMatrix ApplyLayout(const CsrMatrix& adj, const LoaResult& layout) {
+  return PermuteSymmetric(adj, layout.perm);
+}
+
+namespace {
+
+// Modeled hybrid SpMM makespan of a layout: per window, the cheaper of the
+// two core paths (what HC-SpMM's selector approximates) at dim 32,
+// scheduled over the SMs so hub-splitting gains are visible too.
+double EstimatedHybridCycles(const CsrMatrix& adj, int32_t window_height) {
+  const DeviceSpec dev = Rtx3090();
+  const WindowedCsr windows = BuildWindows(adj, window_height);
+  std::vector<double> blocks;
+  blocks.reserve(windows.windows.size());
+  for (const RowWindow& w : windows.windows) {
+    if (w.nnz == 0) continue;
+    const WindowShape shape = w.Shape(32);
+    const double cuda =
+        CudaWindowCost(shape, CudaPathTuning{}, dev, DataType::kTf32).BlockCycles();
+    const double tensor =
+        TensorWindowCost(shape, TensorPathTuning{}, dev, DataType::kTf32)
+            .BlockCycles();
+    blocks.push_back(std::min(cuda, tensor));
+  }
+  return ScheduleBlocks(blocks, dev.sm_count);
+}
+
+}  // namespace
+
+LoaResult RunLoaGuarded(const CsrMatrix& adj, const LoaConfig& config) {
+  WallTimer timer;
+  LoaResult candidate = RunLoa(adj, config);
+  const double before = EstimatedHybridCycles(adj, config.window_height);
+  const double after =
+      EstimatedHybridCycles(ApplyLayout(adj, candidate), config.window_height);
+  if (after < before) {
+    candidate.elapsed_ms = timer.ElapsedMs();
+    return candidate;
+  }
+  LoaResult identity;
+  identity.order.resize(adj.rows());
+  identity.perm.resize(adj.rows());
+  for (int32_t i = 0; i < adj.rows(); ++i) {
+    identity.order[i] = i;
+    identity.perm[i] = i;
+  }
+  identity.elapsed_ms = timer.ElapsedMs();
+  return identity;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,50 @@
+// LOA — the layout-optimization algorithm of SS V-B. Greedily rebuilds each
+// 16-row window around a seed vertex, repeatedly appending the candidate
+// (within a bounded vertex window of the sorted order) that maximizes the
+// window's computing intensity, so more windows become dense enough for
+// Tensor cores. Algorithm 5 is the brute-force reference; Algorithm 6 (LOA)
+// computes intersections incrementally to avoid redundant set unions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace hcspmm {
+
+/// Parameters of the layout pass.
+struct LoaConfig {
+  /// Size of the candidate search window VW over the sorted vertex list.
+  int32_t vertex_window = 256;
+  /// Row-window height (16 throughout the paper).
+  int32_t window_height = 16;
+};
+
+/// Result of a layout pass.
+struct LoaResult {
+  /// order[i] = original vertex placed at new position i.
+  std::vector<int32_t> order;
+  /// perm[old] = new position (inverse of `order`).
+  std::vector<int32_t> perm;
+  /// Host-side wall time of the pass in milliseconds (Figure 16 overhead).
+  double elapsed_ms = 0.0;
+};
+
+/// Algorithm 6 (optimized LOA) over a square adjacency matrix.
+LoaResult RunLoa(const CsrMatrix& adj, const LoaConfig& config = {});
+
+/// Algorithm 5 (basic greedy, brute-force unions) — reference/ablation.
+LoaResult RunLayoutReformatBasic(const CsrMatrix& adj, const LoaConfig& config = {});
+
+/// Apply a layout to the adjacency matrix (symmetric permutation).
+CsrMatrix ApplyLayout(const CsrMatrix& adj, const LoaResult& layout);
+
+/// Algorithm 6 with an acceptance check: the reformatted layout is kept
+/// only if it improves the mean window computing intensity; otherwise the
+/// identity layout is returned (elapsed time still reported). Deployments
+/// use this so LOA never degrades graphs whose original layout is already
+/// favorable (the paper's GH/DP rows in Fig. 14).
+LoaResult RunLoaGuarded(const CsrMatrix& adj, const LoaConfig& config = {});
+
+}  // namespace hcspmm

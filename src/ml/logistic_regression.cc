@@ -1,0 +1,72 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+double LogisticRegression::Train(const std::vector<LrSample>& samples,
+                                 const LrTrainConfig& config) {
+  HCSPMM_CHECK(!samples.empty()) << "no training samples";
+  const double n = static_cast<double>(samples.size());
+
+  // Standardize features so GD converges despite x2 (column counts) being
+  // two orders of magnitude larger than x1 (sparsity).
+  double m1 = 0, m2 = 0;
+  for (const LrSample& s : samples) {
+    m1 += s.x1;
+    m2 += s.x2;
+  }
+  m1 /= n;
+  m2 /= n;
+  double v1 = 0, v2 = 0;
+  for (const LrSample& s : samples) {
+    v1 += (s.x1 - m1) * (s.x1 - m1);
+    v2 += (s.x2 - m2) * (s.x2 - m2);
+  }
+  const double s1 = std::max(std::sqrt(v1 / n), 1e-12);
+  const double s2 = std::max(std::sqrt(v2 / n), 1e-12);
+
+  double w1 = 0, w2 = 0, b = 0;
+  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double g1 = 0, g2 = 0, gb = 0;
+    for (const LrSample& s : samples) {
+      const double z1 = (s.x1 - m1) / s1;
+      const double z2 = (s.x2 - m2) / s2;
+      const double err = Sigmoid(w1 * z1 + w2 * z2 + b) - s.label;
+      g1 += err * z1;
+      g2 += err * z2;
+      gb += err;
+    }
+    w1 -= config.learning_rate * (g1 / n + config.l2 * w1);
+    w2 -= config.learning_rate * (g2 / n + config.l2 * w2);
+    b -= config.learning_rate * gb / n;
+  }
+
+  // Fold standardization back into raw-space coefficients.
+  w1_ = w1 / s1;
+  w2_ = w2 / s2;
+  b_ = b - w1 * m1 / s1 - w2 * m2 / s2;
+  return Accuracy(samples);
+}
+
+double LogisticRegression::PredictProb(double x1, double x2) const {
+  return Sigmoid(w1_ * x1 + w2_ * x2 + b_);
+}
+
+double LogisticRegression::Accuracy(const std::vector<LrSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  int64_t correct = 0;
+  for (const LrSample& s : samples) {
+    if (Predict(s.x1, s.x2) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / samples.size();
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,57 @@
+// From-scratch two-feature logistic regression (the paper uses sklearn's —
+// SS IV-C). Training standardizes features internally and folds the learned
+// weights back into raw-feature space so inference stays the paper's
+// "w1*x1 + w2*x2 + b".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcspmm {
+
+/// One training sample: (x1, x2) features with a binary label.
+struct LrSample {
+  double x1 = 0.0;
+  double x2 = 0.0;
+  int32_t label = 0;
+};
+
+/// Hyperparameters for gradient-descent training.
+struct LrTrainConfig {
+  int32_t epochs = 4000;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+};
+
+/// \brief Binary logistic regression over two features.
+class LogisticRegression {
+ public:
+  /// Fit with full-batch gradient descent. Returns final training accuracy.
+  double Train(const std::vector<LrSample>& samples, const LrTrainConfig& config = {});
+
+  /// P(label == 1 | x1, x2) in raw feature space.
+  double PredictProb(double x1, double x2) const;
+  int32_t Predict(double x1, double x2) const {
+    return PredictProb(x1, x2) >= 0.5 ? 1 : 0;
+  }
+
+  /// Fraction of samples classified correctly.
+  double Accuracy(const std::vector<LrSample>& samples) const;
+
+  // Raw-space coefficients (the paper's hard-coded w1/w2/b).
+  double w1() const { return w1_; }
+  double w2() const { return w2_; }
+  double bias() const { return b_; }
+  void SetCoefficients(double w1, double w2, double b) {
+    w1_ = w1;
+    w2_ = w2;
+    b_ = b;
+  }
+
+ private:
+  double w1_ = 0.0;
+  double w2_ = 0.0;
+  double b_ = 0.0;
+};
+
+}  // namespace hcspmm

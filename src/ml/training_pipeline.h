@@ -1,0 +1,40 @@
+// The offline core-selection training pipeline of SS IV-C:
+//   (1) generate synthetic 16-row matrices (1..130 columns, sparsity
+//       1/16..15/16, every column non-empty),
+//   (2) execute both kernels on the simulated device and record times,
+//   (3) train the logistic regression on (sparsity, #columns) -> faster
+//       core labels,
+//   (4) encode the coefficients into a SelectorModel.
+#pragma once
+
+#include "core/core_selector.h"
+#include "gpusim/device.h"
+#include "ml/logistic_regression.h"
+
+namespace hcspmm {
+
+/// Configuration of the synthetic sweep (defaults follow the paper).
+struct SelectorTrainConfig {
+  int32_t dim = 32;             ///< dense dimension during characterization
+  int32_t max_cols = 130;       ///< paper's column-count cap
+  int32_t col_step = 3;         ///< stride through the column range
+  int32_t sparsity_levels = 15; ///< 1/16 .. 15/16
+  int32_t repeats = 2;          ///< matrices per (cols, sparsity) cell
+  uint64_t seed = 7;
+  DataType dtype = DataType::kTf32;
+};
+
+/// Output of the pipeline.
+struct SelectorTrainResult {
+  SelectorModel model;
+  double accuracy = 0.0;           ///< training accuracy (paper reports >90%)
+  int64_t num_samples = 0;
+  int64_t cuda_labeled = 0;        ///< samples where CUDA cores won
+  std::vector<LrSample> samples;   ///< (sparsity, cols) -> label, for benches
+};
+
+/// Run the full pipeline on `dev`.
+SelectorTrainResult TrainCoreSelector(const DeviceSpec& dev,
+                                      const SelectorTrainConfig& config = {});
+
+}  // namespace hcspmm

@@ -1,0 +1,75 @@
+#include "sparse/convert.h"
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+CsrMatrix CooToCsr(const CooMatrix& coo_in) {
+  CooMatrix coo = coo_in;  // copy: coalescing mutates
+  coo.CoalesceDuplicates();
+  HCSPMM_CHECK(coo.InBounds()) << "COO entries out of bounds";
+
+  const int32_t rows = coo.rows();
+  std::vector<int64_t> row_ptr(rows + 1, 0);
+  for (const CooEntry& e : coo.entries()) row_ptr[e.row + 1]++;
+  for (int32_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  std::vector<int32_t> col_ind(coo.nnz());
+  std::vector<float> val(coo.nnz());
+  // Entries are already sorted row-major, so a single pass fills in order.
+  int64_t k = 0;
+  for (const CooEntry& e : coo.entries()) {
+    col_ind[k] = e.col;
+    val[k] = e.value;
+    ++k;
+  }
+  return CsrMatrix(rows, coo.cols(), std::move(row_ptr), std::move(col_ind),
+                   std::move(val));
+}
+
+CooMatrix CsrToCoo(const CsrMatrix& csr) {
+  CooMatrix coo(csr.rows(), csr.cols());
+  coo.Reserve(csr.nnz());
+  for (int32_t r = 0; r < csr.rows(); ++r) {
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      coo.Add(r, csr.col_ind()[k], csr.val()[k]);
+    }
+  }
+  return coo;
+}
+
+CsrMatrix TransposeCsr(const CsrMatrix& csr) {
+  const int32_t rows = csr.cols();
+  std::vector<int64_t> row_ptr(rows + 1, 0);
+  for (int32_t c : csr.col_ind()) row_ptr[c + 1]++;
+  for (int32_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  std::vector<int32_t> col_ind(csr.nnz());
+  std::vector<float> val(csr.nnz());
+  std::vector<int64_t> next(row_ptr.begin(), row_ptr.end() - 1);
+  for (int32_t r = 0; r < csr.rows(); ++r) {
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      int32_t c = csr.col_ind()[k];
+      int64_t pos = next[c]++;
+      col_ind[pos] = r;
+      val[pos] = csr.val()[k];
+    }
+  }
+  return CsrMatrix(rows, csr.rows(), std::move(row_ptr), std::move(col_ind),
+                   std::move(val));
+}
+
+CsrMatrix PermuteSymmetric(const CsrMatrix& csr, const std::vector<int32_t>& perm) {
+  HCSPMM_CHECK(csr.rows() == csr.cols()) << "symmetric permutation needs square matrix";
+  HCSPMM_CHECK(perm.size() == static_cast<size_t>(csr.rows())) << "perm size mismatch";
+  CooMatrix coo(csr.rows(), csr.cols());
+  coo.Reserve(csr.nnz());
+  for (int32_t r = 0; r < csr.rows(); ++r) {
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      coo.Add(perm[r], perm[csr.col_ind()[k]], csr.val()[k]);
+    }
+  }
+  return CooToCsr(coo);
+}
+
+}  // namespace hcspmm

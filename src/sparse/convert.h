@@ -1,0 +1,22 @@
+// Conversions between sparse formats.
+#pragma once
+
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace hcspmm {
+
+/// Build CSR from COO. Duplicates are summed; columns sorted within rows.
+CsrMatrix CooToCsr(const CooMatrix& coo);
+
+/// Expand CSR back to sorted COO.
+CooMatrix CsrToCoo(const CsrMatrix& csr);
+
+/// Transpose a CSR matrix (CSC view materialized as CSR of A^T).
+CsrMatrix TransposeCsr(const CsrMatrix& csr);
+
+/// Apply a symmetric permutation: B[new_i, new_j] = A[old_i, old_j] where
+/// new_id[old] = perm[old]. Used by the LOA layout reorganizer.
+CsrMatrix PermuteSymmetric(const CsrMatrix& csr, const std::vector<int32_t>& perm);
+
+}  // namespace hcspmm

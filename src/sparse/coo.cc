@@ -1,0 +1,36 @@
+#include "sparse/coo.h"
+
+#include <algorithm>
+
+namespace hcspmm {
+
+void CooMatrix::SortRowMajor() {
+  std::sort(entries_.begin(), entries_.end(), [](const CooEntry& a, const CooEntry& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+}
+
+void CooMatrix::CoalesceDuplicates() {
+  if (entries_.empty()) return;
+  SortRowMajor();
+  std::vector<CooEntry> out;
+  out.reserve(entries_.size());
+  for (const CooEntry& e : entries_) {
+    if (!out.empty() && out.back().row == e.row && out.back().col == e.col) {
+      out.back().value += e.value;
+    } else {
+      out.push_back(e);
+    }
+  }
+  entries_ = std::move(out);
+}
+
+bool CooMatrix::InBounds() const {
+  for (const CooEntry& e : entries_) {
+    if (e.row < 0 || e.row >= rows_ || e.col < 0 || e.col >= cols_) return false;
+  }
+  return true;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,52 @@
+// Coordinate-format sparse matrix (construction/interchange format).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcspmm {
+
+/// One nonzero entry.
+struct CooEntry {
+  int32_t row;
+  int32_t col;
+  float value;
+};
+
+/// \brief COO sparse matrix: an unordered bag of (row, col, value) triples.
+///
+/// COO is the construction format — graph loaders and generators emit COO,
+/// which is then converted to CSR for computation (see sparse/convert.h).
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(int32_t rows, int32_t cols) : rows_(rows), cols_(cols) {}
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(entries_.size()); }
+
+  void Reserve(size_t n) { entries_.reserve(n); }
+  void Add(int32_t row, int32_t col, float value) { entries_.push_back({row, col, value}); }
+
+  const std::vector<CooEntry>& entries() const { return entries_; }
+  std::vector<CooEntry>& mutable_entries() { return entries_; }
+
+  /// Sort entries by (row, col).
+  void SortRowMajor();
+
+  /// Sum duplicated (row, col) entries into one. Requires SortRowMajor first
+  /// or performs it internally.
+  void CoalesceDuplicates();
+
+  /// True if every entry lies inside [0, rows) x [0, cols).
+  bool InBounds() const;
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,67 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+CsrMatrix::CsrMatrix(int32_t rows, int32_t cols, std::vector<int64_t> row_ptr,
+                     std::vector<int32_t> col_ind, std::vector<float> val)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_ind_(std::move(col_ind)),
+      val_(std::move(val)) {
+  HCSPMM_CHECK(row_ptr_.size() == static_cast<size_t>(rows_) + 1)
+      << "row_ptr size mismatch";
+  HCSPMM_CHECK(col_ind_.size() == val_.size()) << "col_ind/val size mismatch";
+}
+
+double CsrMatrix::Sparsity() const {
+  if (rows_ == 0 || cols_ == 0) return 1.0;
+  double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+  return 1.0 - static_cast<double>(nnz()) / total;
+}
+
+bool CsrMatrix::Validate(bool require_sorted_columns) const {
+  if (row_ptr_.size() != static_cast<size_t>(rows_) + 1) return false;
+  if (!row_ptr_.empty() && row_ptr_[0] != 0) return false;
+  for (int32_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r + 1] < row_ptr_[r]) return false;
+  }
+  if (static_cast<int64_t>(col_ind_.size()) != nnz()) return false;
+  if (col_ind_.size() != val_.size()) return false;
+  for (int32_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_ind_[k] < 0 || col_ind_[k] >= cols_) return false;
+      if (require_sorted_columns && k > row_ptr_[r] && col_ind_[k] <= col_ind_[k - 1]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CsrMatrix::SortRows() {
+  std::vector<std::pair<int32_t, float>> buf;
+  for (int32_t r = 0; r < rows_; ++r) {
+    int64_t b = row_ptr_[r], e = row_ptr_[r + 1];
+    buf.clear();
+    for (int64_t k = b; k < e; ++k) buf.emplace_back(col_ind_[k], val_[k]);
+    std::sort(buf.begin(), buf.end());
+    for (int64_t k = b; k < e; ++k) {
+      col_ind_[k] = buf[k - b].first;
+      val_[k] = buf[k - b].second;
+    }
+  }
+}
+
+int64_t CsrMatrix::MemoryBytes() const {
+  return static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t) +
+                              col_ind_.size() * sizeof(int32_t) +
+                              val_.size() * sizeof(float));
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,55 @@
+// Compressed Sparse Row matrix — the computation format for all kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcspmm {
+
+/// \brief CSR sparse matrix (rowPtr / colInd / val), the format every SpMM
+/// kernel in this library consumes.
+///
+/// Invariants (checked by Validate()):
+///  - row_ptr.size() == rows + 1, row_ptr[0] == 0, nondecreasing
+///  - col_ind/val have row_ptr[rows] elements, col indices in [0, cols)
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int32_t rows, int32_t cols, std::vector<int64_t> row_ptr,
+            std::vector<int32_t> col_ind, std::vector<float> val);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_ind() const { return col_ind_; }
+  const std::vector<float>& val() const { return val_; }
+  std::vector<float>& mutable_val() { return val_; }
+
+  int64_t RowBegin(int32_t r) const { return row_ptr_[r]; }
+  int64_t RowEnd(int32_t r) const { return row_ptr_[r + 1]; }
+  int64_t RowNnz(int32_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Fraction of zero entries: 1 - nnz / (rows * cols).
+  double Sparsity() const;
+
+  /// True if the invariants listed above hold (and columns sorted per row if
+  /// require_sorted_columns).
+  bool Validate(bool require_sorted_columns = false) const;
+
+  /// Sort the column indices (and values) within each row.
+  void SortRows();
+
+  /// Approximate resident bytes of the CSR arrays.
+  int64_t MemoryBytes() const;
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_ind_;
+  std::vector<float> val_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,39 @@
+#include "sparse/dense.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+double DenseMatrix::FrobeniusDistance(const DenseMatrix& other) const {
+  HCSPMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_) << "shape mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = static_cast<double>(data_[i]) - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double DenseMatrix::MaxAbsDifference(const DenseMatrix& other) const {
+  HCSPMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_) << "shape mismatch";
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = std::fabs(static_cast<double>(data_[i]) - other.data_[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (int32_t r = 0; r < rows_; ++r) {
+    for (int32_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace hcspmm

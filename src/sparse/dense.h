@@ -1,0 +1,50 @@
+// Row-major dense matrix used for feature/embedding matrices.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcspmm {
+
+/// \brief Dense row-major float matrix (the X / Z operands of SpMM).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int32_t rows, int32_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+
+  float& At(int32_t r, int32_t c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float At(int32_t r, int32_t c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  const float* RowData(int32_t r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* MutableRowData(int32_t r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Frobenius-norm of (this - other); matrices must be the same shape.
+  double FrobeniusDistance(const DenseMatrix& other) const;
+
+  /// Max |a-b| over entries; matrices must be the same shape.
+  double MaxAbsDifference(const DenseMatrix& other) const;
+
+  /// C = this^T (rows and cols swap).
+  DenseMatrix Transposed() const;
+
+  int64_t MemoryBytes() const { return static_cast<int64_t>(data_.size() * sizeof(float)); }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,82 @@
+#include "sparse/generate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sparse/convert.h"
+#include "util/logging.h"
+
+namespace hcspmm {
+
+CsrMatrix GenerateRowWindowMatrix(int32_t rows, int32_t cols, int64_t nnz, Pcg32* rng) {
+  HCSPMM_CHECK(rows > 0 && cols > 0);
+  nnz = std::max<int64_t>(nnz, cols);
+  nnz = std::min<int64_t>(nnz, static_cast<int64_t>(rows) * cols);
+
+  std::set<std::pair<int32_t, int32_t>> used;
+  CooMatrix coo(rows, cols);
+  coo.Reserve(nnz);
+  // One entry per column first so every column is non-zero (paper SS IV-C).
+  for (int32_t c = 0; c < cols; ++c) {
+    int32_t r = static_cast<int32_t>(rng->NextBounded(rows));
+    used.insert({r, c});
+    coo.Add(r, c, 1.0f);
+  }
+  // Remaining entries uniformly at random without duplicates.
+  int64_t remaining = nnz - cols;
+  while (remaining > 0) {
+    int32_t r = static_cast<int32_t>(rng->NextBounded(rows));
+    int32_t c = static_cast<int32_t>(rng->NextBounded(cols));
+    if (used.insert({r, c}).second) {
+      coo.Add(r, c, 1.0f);
+      --remaining;
+    }
+  }
+  return CooToCsr(coo);
+}
+
+CsrMatrix GenerateBlockedMatrix(int32_t rows, int32_t cols, double sparsity,
+                                Pcg32* rng) {
+  HCSPMM_CHECK(rows % 16 == 0 && cols % 8 == 0)
+      << "blocked generator wants multiples of 16x8";
+  const double density = 1.0 - sparsity;
+  const int64_t per_block =
+      std::max<int64_t>(1, static_cast<int64_t>(density * 16 * 8 + 0.5));
+  CooMatrix coo(rows, cols);
+  std::set<std::pair<int32_t, int32_t>> used;
+  for (int32_t br = 0; br < rows / 16; ++br) {
+    for (int32_t bc = 0; bc < cols / 8; ++bc) {
+      used.clear();
+      int64_t placed = 0;
+      while (placed < per_block) {
+        int32_t r = br * 16 + static_cast<int32_t>(rng->NextBounded(16));
+        int32_t c = bc * 8 + static_cast<int32_t>(rng->NextBounded(8));
+        if (used.insert({r, c}).second) {
+          coo.Add(r, c, rng->NextDouble(0.5, 1.5));
+          ++placed;
+        }
+      }
+    }
+  }
+  return CooToCsr(coo);
+}
+
+CsrMatrix GenerateUniformSparse(int32_t rows, int32_t cols, double density, Pcg32* rng) {
+  CooMatrix coo(rows, cols);
+  int64_t target = static_cast<int64_t>(density * rows * static_cast<double>(cols));
+  std::set<std::pair<int32_t, int32_t>> used;
+  while (static_cast<int64_t>(used.size()) < target) {
+    int32_t r = static_cast<int32_t>(rng->NextBounded(rows));
+    int32_t c = static_cast<int32_t>(rng->NextBounded(cols));
+    if (used.insert({r, c}).second) coo.Add(r, c, rng->NextDouble(0.5, 1.5));
+  }
+  return CooToCsr(coo);
+}
+
+DenseMatrix GenerateDense(int32_t rows, int32_t cols, Pcg32* rng) {
+  DenseMatrix m(rows, cols);
+  for (float& v : m.mutable_data()) v = static_cast<float>(rng->NextDouble(-1.0, 1.0));
+  return m;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,31 @@
+// Synthetic sparse-matrix generators used for kernel characterization
+// (Fig. 1), the core-selection training pipeline (SS IV-C) and the sparsity
+// sweep (Table X).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "util/random.h"
+
+namespace hcspmm {
+
+/// Generate one row-window-shaped matrix per SS IV-C: `rows` x `cols`, every
+/// column has at least one nonzero, and the total nonzero count is
+/// `nnz` (clamped to [cols, rows*cols]). Positions are uniform.
+CsrMatrix GenerateRowWindowMatrix(int32_t rows, int32_t cols, int64_t nnz, Pcg32* rng);
+
+/// Generate a `rows` x `cols` matrix with the given sparsity in
+/// tiled fashion (Table X): nonzeros placed uniformly inside 16x8 blocks so
+/// that block occupancy varies with sparsity.
+CsrMatrix GenerateBlockedMatrix(int32_t rows, int32_t cols, double sparsity,
+                                Pcg32* rng);
+
+/// Uniform random sparse matrix with the given nonzero density.
+CsrMatrix GenerateUniformSparse(int32_t rows, int32_t cols, double density, Pcg32* rng);
+
+/// Dense matrix with entries ~ U[-1, 1).
+DenseMatrix GenerateDense(int32_t rows, int32_t cols, Pcg32* rng);
+
+}  // namespace hcspmm

@@ -1,0 +1,104 @@
+#include "sparse/mmio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hcspmm {
+
+namespace {
+
+struct Header {
+  bool symmetric = false;
+  bool pattern = false;
+};
+
+Result<Header> ParseHeader(const std::string& line) {
+  std::istringstream iss(line);
+  std::string banner, object, format, field, symmetry;
+  iss >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    return Status::IoError("missing %%MatrixMarket banner");
+  }
+  if (object != "matrix" || format != "coordinate") {
+    return Status::NotImplemented("only coordinate matrices supported");
+  }
+  Header h;
+  if (field == "pattern") {
+    h.pattern = true;
+  } else if (field != "real" && field != "integer" && field != "double") {
+    return Status::NotImplemented("unsupported field: " + field);
+  }
+  if (symmetry == "symmetric") {
+    h.symmetric = true;
+  } else if (symmetry != "general") {
+    return Status::NotImplemented("unsupported symmetry: " + symmetry);
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<CooMatrix> ParseMatrixMarket(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty matrix market input");
+  auto header = ParseHeader(line);
+  if (!header.ok()) return header.status();
+  const Header h = header.ValueOrDie();
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) return Status::IoError("missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz)) return Status::IoError("bad size line");
+  if (rows <= 0 || cols <= 0 || nnz < 0) return Status::IoError("bad dimensions");
+
+  CooMatrix coo(static_cast<int32_t>(rows), static_cast<int32_t>(cols));
+  coo.Reserve(static_cast<size_t>(h.symmetric ? 2 * nnz : nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) return Status::IoError("truncated entries");
+    std::istringstream es(line);
+    int64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(es >> r >> c)) return Status::IoError("bad entry line");
+    if (!h.pattern) {
+      if (!(es >> v)) return Status::IoError("missing value");
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) return Status::IoError("index out of range");
+    coo.Add(static_cast<int32_t>(r - 1), static_cast<int32_t>(c - 1),
+            static_cast<float>(v));
+    if (h.symmetric && r != c) {
+      coo.Add(static_cast<int32_t>(c - 1), static_cast<int32_t>(r - 1),
+              static_cast<float>(v));
+    }
+  }
+  return coo;
+}
+
+Result<CooMatrix> ReadMatrixMarket(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseMatrixMarket(buf.str());
+}
+
+Status WriteMatrixMarket(const std::string& path, const CooMatrix& coo) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << "%%MatrixMarket matrix coordinate real general\n";
+  f << coo.rows() << " " << coo.cols() << " " << coo.nnz() << "\n";
+  for (const CooEntry& e : coo.entries()) {
+    f << (e.row + 1) << " " << (e.col + 1) << " " << e.value << "\n";
+  }
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,22 @@
+// Matrix Market (.mtx) reader/writer for COO matrices.
+#pragma once
+
+#include <string>
+
+#include "sparse/coo.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// Read a Matrix Market coordinate file. Supports "general" and "symmetric"
+/// symmetry (symmetric entries are mirrored), "real", "integer" and
+/// "pattern" fields (pattern values default to 1.0).
+Result<CooMatrix> ReadMatrixMarket(const std::string& path);
+
+/// Write a COO matrix as a general real coordinate Matrix Market file.
+Status WriteMatrixMarket(const std::string& path, const CooMatrix& coo);
+
+/// Parse Matrix Market content from a string (used by tests).
+Result<CooMatrix> ParseMatrixMarket(const std::string& content);
+
+}  // namespace hcspmm

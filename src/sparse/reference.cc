@@ -1,0 +1,68 @@
+#include "sparse/reference.h"
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+DenseMatrix ReferenceSpmm(const CsrMatrix& a, const DenseMatrix& x) {
+  HCSPMM_CHECK(a.cols() == x.rows()) << "SpMM shape mismatch";
+  DenseMatrix z(a.rows(), x.cols());
+  const int32_t dim = x.cols();
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    float* zr = z.MutableRowData(r);
+    for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      const float v = a.val()[k];
+      const float* xr = x.RowData(a.col_ind()[k]);
+      for (int32_t j = 0; j < dim; ++j) zr[j] += v * xr[j];
+    }
+  }
+  return z;
+}
+
+DenseMatrix ReferenceGemm(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.cols() == b.rows()) << "GEMM shape mismatch";
+  DenseMatrix c(a.rows(), b.cols());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    for (int32_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.At(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.RowData(k);
+      float* crow = c.MutableRowData(i);
+      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix ReferenceGemmTransA(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.rows() == b.rows()) << "GEMM^T shape mismatch";
+  DenseMatrix c(a.cols(), b.cols());
+  for (int32_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.RowData(k);
+    const float* brow = b.RowData(k);
+    for (int32_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.MutableRowData(i);
+      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix ReferenceGemmTransB(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.cols() == b.cols()) << "GEMM B^T shape mismatch";
+  DenseMatrix c(a.rows(), b.rows());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowData(i);
+    for (int32_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.RowData(j);
+      double acc = 0.0;
+      for (int32_t k = 0; k < a.cols(); ++k) acc += static_cast<double>(arow[k]) * brow[k];
+      c.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,21 @@
+// Reference (host, unmetered) SpMM and GEMM used to verify every kernel.
+#pragma once
+
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+
+namespace hcspmm {
+
+/// Z = A * X, plain CSR traversal in double accumulation.
+DenseMatrix ReferenceSpmm(const CsrMatrix& a, const DenseMatrix& x);
+
+/// C = A * B for dense matrices.
+DenseMatrix ReferenceGemm(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A^T * B for dense matrices.
+DenseMatrix ReferenceGemmTransA(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A * B^T for dense matrices.
+DenseMatrix ReferenceGemmTransB(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace hcspmm

@@ -1,0 +1,53 @@
+// Minimal leveled logging plus CHECK macros (Google-style).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hcspmm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hcspmm
+
+#define HCSPMM_LOG(level) \
+  ::hcspmm::internal::LogMessage(::hcspmm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define HCSPMM_CHECK(cond)                                             \
+  if (!(cond))                                                         \
+  ::hcspmm::internal::LogMessage(::hcspmm::LogLevel::kFatal, __FILE__, \
+                                 __LINE__)                             \
+      << "Check failed: " #cond " "
+
+#define HCSPMM_CHECK_OK(expr)                      \
+  do {                                             \
+    ::hcspmm::Status _st = (expr);                 \
+    HCSPMM_CHECK(_st.ok()) << _st.ToString();      \
+  } while (0)
+
+#define HCSPMM_DCHECK(cond) HCSPMM_CHECK(cond)

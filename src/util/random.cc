@@ -1,0 +1,52 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace hcspmm {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = static_cast<uint32_t>(-bound) % bound;
+  while (true) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+double Pcg32::NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Pcg32::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  has_spare_ = true;
+  return u * mul;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,87 @@
+// Status / Result error-handling primitives in the Arrow/RocksDB idiom.
+// Public APIs that can fail return Status or Result<T> instead of throwing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hcspmm {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Use the RETURN_NOT_OK macro to propagate.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "Code: message" rendering.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(v_);
+  }
+  /// Precondition: ok().
+  T& ValueOrDie() { return std::get<T>(v_); }
+  const T& ValueOrDie() const { return std::get<T>(v_); }
+  T ValueOr(T fallback) const { return ok() ? std::get<T>(v_) : fallback; }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace hcspmm
+
+#define HCSPMM_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::hcspmm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)

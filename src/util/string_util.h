@@ -1,0 +1,25 @@
+// Small string/formatting helpers shared by the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hcspmm {
+
+/// Split on a delimiter; empty tokens are kept.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// printf-style double formatting with the given precision.
+std::string FormatDouble(double v, int precision = 2);
+
+/// Render `v` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(int64_t v);
+
+/// Left-pad / right-pad to a width (for ASCII tables).
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace hcspmm

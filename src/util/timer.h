@@ -1,0 +1,24 @@
+// Wall-clock timer for measuring host-side (preprocessing/LOA) costs.
+#pragma once
+
+#include <chrono>
+
+namespace hcspmm {
+
+/// Simple RAII-free stopwatch; Start() resets, ElapsedMs()/ElapsedUs() read.
+class WallTimer {
+ public:
+  WallTimer() { Start(); }
+  void Start() { t0_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     t0_)
+        .count();
+  }
+  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace hcspmm

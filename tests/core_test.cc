@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "core/core_selector.h"
+#include "core/hybrid_spmm.h"
+#include "core/preprocess.h"
+#include "core/row_window.h"
+#include "graph/datasets.h"
+#include "sparse/convert.h"
+#include "sparse/generate.h"
+#include "sparse/reference.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+TEST(RowWindowTest, CoversAllRowsExactlyOnce) {
+  Pcg32 rng(1);
+  CsrMatrix a = GenerateUniformSparse(100, 80, 0.1, &rng);
+  WindowedCsr w = BuildWindows(a);
+  ASSERT_EQ(w.windows.size(), 7u);  // ceil(100/16)
+  int32_t covered = 0;
+  for (const RowWindow& win : w.windows) {
+    EXPECT_EQ(win.first_row, covered);
+    covered += win.num_rows;
+  }
+  EXPECT_EQ(covered, 100);
+  EXPECT_EQ(w.windows.back().num_rows, 100 - 6 * 16);
+}
+
+TEST(RowWindowTest, NnzSumsToMatrixNnz) {
+  Pcg32 rng(2);
+  CsrMatrix a = GenerateUniformSparse(90, 90, 0.07, &rng);
+  WindowedCsr w = BuildWindows(a);
+  EXPECT_EQ(w.TotalNnz(), a.nnz());
+}
+
+TEST(RowWindowTest, UniqueColsSortedAndDistinct) {
+  Pcg32 rng(3);
+  CsrMatrix a = GenerateUniformSparse(64, 64, 0.2, &rng);
+  WindowedCsr w = BuildWindows(a);
+  for (const RowWindow& win : w.windows) {
+    for (size_t i = 1; i < win.unique_cols.size(); ++i) {
+      EXPECT_LT(win.unique_cols[i - 1], win.unique_cols[i]);
+    }
+    if (!win.unique_cols.empty()) {
+      EXPECT_EQ(win.col_span, win.unique_cols.back() - win.unique_cols.front());
+    }
+  }
+}
+
+TEST(RowWindowTest, SparsityOverCondensedRegion) {
+  // 16 rows, 4 distinct columns, 8 nonzeros -> sparsity 1 - 8/64.
+  CooMatrix coo(16, 100);
+  for (int i = 0; i < 8; ++i) coo.Add(i, (i % 4) * 25, 1.0f);
+  CsrMatrix a = CooToCsr(coo);
+  WindowedCsr w = BuildWindows(a);
+  ASSERT_EQ(w.windows.size(), 1u);
+  EXPECT_EQ(w.windows[0].NumCols(), 4);
+  EXPECT_NEAR(w.windows[0].Sparsity(), 1.0 - 8.0 / 64.0, 1e-12);
+  EXPECT_NEAR(w.windows[0].ComputingIntensity(), 2.0, 1e-12);
+}
+
+TEST(RowWindowTest, MaxRowNnzTracked) {
+  CooMatrix coo(16, 16);
+  for (int c = 0; c < 10; ++c) coo.Add(0, c, 1.0f);
+  coo.Add(5, 0, 1.0f);
+  CsrMatrix a = CooToCsr(coo);
+  WindowedCsr w = BuildWindows(a);
+  EXPECT_EQ(w.windows[0].max_row_nnz, 10);
+}
+
+TEST(RowWindowTest, CustomWindowHeight) {
+  Pcg32 rng(4);
+  CsrMatrix a = GenerateUniformSparse(64, 64, 0.1, &rng);
+  WindowedCsr w = BuildWindows(a, /*window_height=*/32);
+  EXPECT_EQ(w.windows.size(), 2u);
+  EXPECT_EQ(w.windows[0].num_rows, 32);
+}
+
+TEST(SelectorTest, SparseWindowsGoToCudaDenseToTensor) {
+  const SelectorModel m = DefaultSelectorModel();
+  // Very sparse window -> CUDA (label 1 in the paper's encoding).
+  EXPECT_EQ(m.Select(/*sparsity=*/0.95, /*cols=*/32), CoreType::kCudaCore);
+  // Dense window -> Tensor.
+  EXPECT_EQ(m.Select(/*sparsity=*/0.30, /*cols=*/16), CoreType::kTensorCore);
+}
+
+TEST(SelectorTest, BoundaryNearCrossoverSparsity) {
+  const SelectorModel m = DefaultSelectorModel();
+  // The decision boundary at 32 columns must sit in the Fig. 1(a)
+  // crossover band.
+  double boundary = -1;
+  for (double s = 0.5; s <= 1.0; s += 0.001) {
+    if (m.Select(s, 32) == CoreType::kCudaCore) {
+      boundary = s;
+      break;
+    }
+  }
+  EXPECT_GE(boundary, 0.70);
+  EXPECT_LE(boundary, 0.90);
+}
+
+TEST(SelectorTest, HubWindowsClampedToTrainingRange) {
+  const SelectorModel m = DefaultSelectorModel();
+  // A sparse hub window with thousands of columns must not extrapolate into
+  // a Tensor pick.
+  EXPECT_EQ(m.Select(/*sparsity=*/0.93, /*cols=*/2000), CoreType::kCudaCore);
+  EXPECT_EQ(m.PredictProbCuda(0.93, 2000), m.PredictProbCuda(0.93, kSelectorMaxCols));
+}
+
+TEST(SelectorTest, ProbabilitiesAreCalibratedSigmoid) {
+  SelectorModel m;
+  m.w_sparsity = 1.0;
+  m.w_cols = 0.0;
+  m.bias = 0.0;
+  EXPECT_NEAR(m.PredictProbCuda(0.0, 0.0), 0.5, 1e-12);
+  EXPECT_GT(m.PredictProbCuda(5.0, 0.0), 0.99);
+}
+
+TEST(PreprocessTest, AssignsEveryWindow) {
+  Pcg32 rng(5);
+  CsrMatrix a = GenerateUniformSparse(200, 200, 0.05, &rng);
+  auto plan = Preprocess(a, Rtx3090(), DefaultSelectorModel());
+  ASSERT_TRUE(plan.ok());
+  const HybridPlan& p = plan.ValueOrDie();
+  EXPECT_EQ(p.assignment.size(), p.windows.windows.size());
+  int64_t nonempty = 0;
+  for (const RowWindow& w : p.windows.windows) nonempty += (w.nnz > 0);
+  EXPECT_EQ(p.windows_cuda + p.windows_tensor, nonempty);
+}
+
+TEST(PreprocessTest, MetersPreprocessingCost) {
+  Pcg32 rng(6);
+  CsrMatrix a = GenerateUniformSparse(400, 400, 0.05, &rng);
+  auto plan = Preprocess(a, Rtx3090(), DefaultSelectorModel());
+  ASSERT_TRUE(plan.ok());
+  const KernelProfile& prof = plan.ValueOrDie().preprocess_profile;
+  EXPECT_GT(prof.time_ns, 0.0);
+  EXPECT_EQ(prof.launches, 1);
+  // Cost scales with nnz.
+  CsrMatrix big = GenerateUniformSparse(400, 400, 0.15, &rng);
+  auto plan2 = Preprocess(big, Rtx3090(), DefaultSelectorModel());
+  EXPECT_GT(plan2.ValueOrDie().preprocess_profile.time_ns, prof.time_ns);
+}
+
+TEST(PreprocessTest, EmptyMatrixRejected) {
+  CsrMatrix empty;
+  auto plan = Preprocess(empty, Rtx3090(), DefaultSelectorModel());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(HybridTest, MatchesReferenceFp32) {
+  Pcg32 rng(7);
+  CsrMatrix a = GenerateUniformSparse(150, 150, 0.08, &rng);
+  DenseMatrix x = GenerateDense(150, 40, &rng);
+  DenseMatrix expected = ReferenceSpmm(a, x);
+  HcSpmm kernel;
+  KernelOptions opts;
+  opts.dtype = DataType::kFp32;
+  DenseMatrix z;
+  KernelProfile prof;
+  ASSERT_TRUE(kernel.Run(a, x, Rtx3090(), opts, &z, &prof).ok());
+  EXPECT_LT(z.MaxAbsDifference(expected), 1e-4);
+}
+
+TEST(HybridTest, MixedRoutingOnMixedMatrix) {
+  // Dense blocked region (rows 0..127) + very sparse tail: the plan should
+  // route some windows to each core type.
+  Pcg32 rng(8);
+  CsrMatrix dense_part = GenerateBlockedMatrix(128, 64, 0.55, &rng);
+  CooMatrix coo(256, 256);
+  for (int32_t r = 0; r < 128; ++r) {
+    for (int64_t k = dense_part.RowBegin(r); k < dense_part.RowEnd(r); ++k) {
+      coo.Add(r, dense_part.col_ind()[k], dense_part.val()[k]);
+    }
+  }
+  for (int32_t r = 128; r < 256; ++r) coo.Add(r, (r * 37) % 256, 1.0f);
+  CsrMatrix a = CooToCsr(coo);
+
+  auto plan = Preprocess(a, Rtx3090(), DefaultSelectorModel());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.ValueOrDie().windows_tensor, 0);
+  EXPECT_GT(plan.ValueOrDie().windows_cuda, 0);
+}
+
+TEST(HybridTest, PlanReuseMatchesOneShot) {
+  Pcg32 rng(9);
+  CsrMatrix a = GenerateUniformSparse(120, 120, 0.1, &rng);
+  DenseMatrix x = GenerateDense(120, 24, &rng);
+  HcSpmm kernel;
+  KernelOptions opts;
+  DenseMatrix z1, z2;
+  KernelProfile p1, p2;
+  ASSERT_TRUE(kernel.Run(a, x, Rtx3090(), opts, &z1, &p1).ok());
+  auto plan = Preprocess(a, Rtx3090(), DefaultSelectorModel());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(
+      kernel.RunWithPlan(plan.ValueOrDie(), a, x, Rtx3090(), opts, &z2, &p2).ok());
+  EXPECT_EQ(z1.data(), z2.data());
+  EXPECT_DOUBLE_EQ(p1.time_ns, p2.time_ns);
+}
+
+TEST(HybridTest, PlanForDifferentMatrixRejected) {
+  Pcg32 rng(10);
+  CsrMatrix a = GenerateUniformSparse(64, 64, 0.1, &rng);
+  CsrMatrix b = GenerateUniformSparse(64, 64, 0.1, &rng);
+  DenseMatrix x = GenerateDense(64, 16, &rng);
+  HcSpmm kernel;
+  auto plan = Preprocess(a, Rtx3090(), DefaultSelectorModel());
+  DenseMatrix z;
+  KernelProfile p;
+  Status st =
+      kernel.RunWithPlan(plan.ValueOrDie(), b, x, Rtx3090(), KernelOptions{}, &z, &p);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(HybridTest, NeverSlowerThanWorseSingleCorePath) {
+  // The selector picks per-window minima, so HC-SpMM is never slower than
+  // the slower of its two constituent kernels, on any dataset.
+  for (const char* code : {"CS", "DD", "YS"}) {
+    Graph g = LoadDatasetCapped(DatasetByCode(code).ValueOrDie(), 60000);
+    DenseMatrix x(g.adjacency.cols(), 32, 0.5f);
+    DenseMatrix z;
+    KernelProfile hc, cuda, tensor;
+    ASSERT_TRUE(MakeKernel("hcspmm")->Run(g.adjacency, x, Rtx3090(), KernelOptions{}, &z, &hc).ok());
+    ASSERT_TRUE(MakeKernel("cuda_opt")->Run(g.adjacency, x, Rtx3090(), KernelOptions{}, &z, &cuda).ok());
+    ASSERT_TRUE(MakeKernel("tensor_opt")->Run(g.adjacency, x, Rtx3090(), KernelOptions{}, &z, &tensor).ok());
+    EXPECT_LE(hc.time_ns, std::max(cuda.time_ns, tensor.time_ns) * 1.001) << code;
+  }
+}
+
+TEST(HybridTest, ProfileCountsWindowsPerCore) {
+  Pcg32 rng(11);
+  CsrMatrix a = GenerateUniformSparse(160, 160, 0.06, &rng);
+  DenseMatrix x = GenerateDense(160, 32, &rng);
+  HcSpmm kernel;
+  DenseMatrix z;
+  KernelProfile p;
+  ASSERT_TRUE(kernel.Run(a, x, Rtx3090(), KernelOptions{}, &z, &p).ok());
+  EXPECT_EQ(p.windows_cuda + p.windows_tensor, p.blocks);
+}
+
+TEST(HybridTest, CustomSelectorRespected) {
+  Pcg32 rng(12);
+  CsrMatrix a = GenerateUniformSparse(96, 96, 0.1, &rng);
+  DenseMatrix x = GenerateDense(96, 16, &rng);
+  // Force everything to Tensor cores.
+  SelectorModel all_tensor;
+  all_tensor.bias = -100.0;
+  HcSpmm kernel(all_tensor);
+  auto plan = Preprocess(a, Rtx3090(), all_tensor);
+  EXPECT_EQ(plan.ValueOrDie().windows_cuda, 0);
+  // Force everything to CUDA cores.
+  SelectorModel all_cuda;
+  all_cuda.bias = 100.0;
+  auto plan2 = Preprocess(a, Rtx3090(), all_cuda);
+  EXPECT_EQ(plan2.ValueOrDie().windows_tensor, 0);
+}
+
+}  // namespace
+}  // namespace hcspmm

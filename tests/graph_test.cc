@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/row_window.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+TEST(GraphTest, FromEdgesIsSymmetricNoSelfLoops) {
+  Pcg32 rng(1);
+  Graph g = GraphFromEdges("t", 5, {{0, 1}, {1, 2}, {2, 2}, {0, 1}}, 4, 3, &rng);
+  EXPECT_EQ(g.NumEdges(), 4);  // self loop dropped, duplicate collapsed
+  // Symmetry.
+  for (int32_t r = 0; r < 5; ++r) {
+    for (int64_t k = g.adjacency.RowBegin(r); k < g.adjacency.RowEnd(r); ++k) {
+      const int32_t c = g.adjacency.col_ind()[k];
+      EXPECT_NE(c, r) << "self loop survived";
+      bool mirrored = false;
+      for (int64_t k2 = g.adjacency.RowBegin(c); k2 < g.adjacency.RowEnd(c); ++k2) {
+        mirrored |= (g.adjacency.col_ind()[k2] == r);
+      }
+      EXPECT_TRUE(mirrored);
+    }
+  }
+  // Weights reset to 1 even for duplicated input edges.
+  for (float v : g.adjacency.val()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(GraphTest, FeaturesAndLabelsAttached) {
+  Pcg32 rng(2);
+  Graph g = GraphFromEdges("t", 30, {{0, 1}}, 8, 4, &rng);
+  EXPECT_EQ(g.features.rows(), 30);
+  EXPECT_EQ(g.features.cols(), 8);
+  EXPECT_EQ(g.labels.size(), 30u);
+  for (int32_t l : g.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(GraphTest, ScatterPreservesStructure) {
+  Pcg32 rng(3);
+  Graph g = ErdosRenyi(100, 300, 8, &rng);
+  Graph s = ScatterIds(g, &rng);
+  EXPECT_EQ(s.NumEdges(), g.NumEdges());
+  EXPECT_EQ(s.num_vertices, g.num_vertices);
+  // Degree multiset preserved.
+  std::multiset<int64_t> d1, d2;
+  for (int32_t v = 0; v < 100; ++v) {
+    d1.insert(g.adjacency.RowNnz(v));
+    d2.insert(s.adjacency.RowNnz(v));
+  }
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(GeneratorTest, ErdosRenyiEdgeCount) {
+  Pcg32 rng(4);
+  Graph g = ErdosRenyi(200, 500, 8, &rng);
+  EXPECT_EQ(g.NumEdges(), 1000);  // 500 undirected -> 1000 directed
+}
+
+TEST(GeneratorTest, BarabasiAlbertIsPowerLawish) {
+  Pcg32 rng(5);
+  Graph g = BarabasiAlbert(2000, 6000, 8, &rng);
+  // Hubs: max degree far above average.
+  int64_t max_deg = 0;
+  for (int32_t v = 0; v < g.num_vertices; ++v) {
+    max_deg = std::max<int64_t>(max_deg, g.adjacency.RowNnz(v));
+  }
+  EXPECT_GT(max_deg, 6 * g.AvgDegree());
+  // Roughly the requested number of edges (dedup loses a few).
+  EXPECT_GT(g.NumEdges(), 6000);
+  EXPECT_LT(g.NumEdges(), 14000);
+}
+
+TEST(GeneratorTest, MoleculeUnionHasLocalStructure) {
+  Pcg32 rng(6);
+  Graph g = MoleculeUnion(1000, 4000, 24, 8, &rng);
+  // Most edges stay within a small id distance (community-local).
+  int64_t local = 0, total = 0;
+  for (int32_t r = 0; r < g.num_vertices; ++r) {
+    for (int64_t k = g.adjacency.RowBegin(r); k < g.adjacency.RowEnd(r); ++k) {
+      ++total;
+      if (std::abs(g.adjacency.col_ind()[k] - r) <= 48) ++local;
+    }
+  }
+  EXPECT_GT(static_cast<double>(local) / total, 0.9);
+}
+
+TEST(GeneratorTest, RmatShapeAndSkew) {
+  Pcg32 rng(7);
+  Graph g = RMat(10, 4000, 8, &rng);
+  EXPECT_EQ(g.num_vertices, 1024);
+  EXPECT_GT(g.NumEdges(), 0);
+}
+
+TEST(GeneratorTest, ConnectedEnoughForGnn) {
+  Pcg32 rng(8);
+  Graph g = MoleculeUnion(200, 900, 20, 8, &rng);
+  int32_t isolated = 0;
+  for (int32_t v = 0; v < g.num_vertices; ++v) {
+    isolated += (g.adjacency.RowNnz(v) == 0);
+  }
+  EXPECT_LT(isolated, g.num_vertices / 20);
+}
+
+TEST(DatasetTest, RegistryHasAllFourteen) {
+  EXPECT_EQ(AllDatasets().size(), 14u);
+  std::set<std::string> codes;
+  for (const DatasetSpec& s : AllDatasets()) codes.insert(s.code);
+  EXPECT_EQ(codes.size(), 14u);
+  EXPECT_TRUE(codes.count("CS"));
+  EXPECT_TRUE(codes.count("DP"));
+}
+
+TEST(DatasetTest, LookupByCode) {
+  auto r = DatasetByCode("RD");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().full_name, "Reddit");
+  EXPECT_EQ(r.ValueOrDie().feature_dim, 96);
+  EXPECT_FALSE(DatasetByCode("XX").ok());
+}
+
+TEST(DatasetTest, TableIIScalesMatch) {
+  auto cs = DatasetByCode("CS").ValueOrDie();
+  EXPECT_EQ(cs.paper_vertices, 3327);
+  EXPECT_EQ(cs.paper_edges, 9464);
+  EXPECT_EQ(cs.feature_dim, 3703);
+  auto dp = DatasetByCode("DP").ValueOrDie();
+  EXPECT_EQ(dp.paper_vertices, 18268981);
+  EXPECT_TRUE(dp.scattered);
+}
+
+TEST(DatasetTest, FullScaleSmallDatasetMatchesPaperSize) {
+  Graph g = LoadDataset(DatasetByCode("CR").ValueOrDie(), 1.0);
+  EXPECT_EQ(g.num_vertices, 2708);
+  EXPECT_EQ(g.feature_dim, 1433);
+  // Edge count within a factor of the paper's (generators approximate).
+  EXPECT_GT(g.NumEdges(), 10858 / 2);
+  EXPECT_LT(g.NumEdges(), 10858 * 2);
+}
+
+TEST(DatasetTest, CappedLoadRespectsBudget) {
+  Graph g = LoadDatasetCapped(DatasetByCode("RD").ValueOrDie(), 50000);
+  EXPECT_LT(g.NumEdges(), 120000);  // directed edges ~<= 2x the cap
+  EXPECT_LT(g.num_vertices, 100000);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  Graph a = LoadDatasetCapped(DatasetByCode("YS").ValueOrDie(), 20000, 7);
+  Graph b = LoadDatasetCapped(DatasetByCode("YS").ValueOrDie(), 20000, 7);
+  EXPECT_EQ(a.adjacency.col_ind(), b.adjacency.col_ind());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DatasetTest, ScatteredDatasetsHaveWorseLocality) {
+  Graph az = LoadDatasetCapped(DatasetByCode("AZ").ValueOrDie(), 40000);
+  Graph ys = LoadDatasetCapped(DatasetByCode("YS").ValueOrDie(), 40000);
+  auto mean_span = [](const Graph& g) {
+    WindowedCsr w = BuildWindows(g.adjacency);
+    double sum = 0;
+    int64_t n = 0;
+    for (const RowWindow& win : w.windows) {
+      if (win.nnz == 0) continue;
+      sum += static_cast<double>(win.col_span) / g.num_vertices;
+      ++n;
+    }
+    return n ? sum / n : 0.0;
+  };
+  EXPECT_GT(mean_span(az), mean_span(ys) * 2);
+}
+
+TEST(DatasetTest, MoleculeDatasetsDenserWindowsThanSocial) {
+  Graph ys = LoadDatasetCapped(DatasetByCode("YS").ValueOrDie(), 40000);
+  Graph rd = LoadDatasetCapped(DatasetByCode("RD").ValueOrDie(), 40000);
+  auto mean_intensity = [](const Graph& g) {
+    WindowedCsr w = BuildWindows(g.adjacency);
+    double sum = 0;
+    int64_t n = 0;
+    for (const RowWindow& win : w.windows) {
+      if (win.nnz == 0) continue;
+      sum += win.ComputingIntensity();
+      ++n;
+    }
+    return n ? sum / n : 0.0;
+  };
+  EXPECT_GT(mean_intensity(ys), mean_intensity(rd));
+}
+
+}  // namespace
+}  // namespace hcspmm

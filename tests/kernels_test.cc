@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "kernels/cuda_basic.h"
+#include "kernels/cuda_optimized.h"
+#include "kernels/spmm_kernel.h"
+#include "kernels/tensor_basic.h"
+#include "kernels/tensor_optimized.h"
+#include "sparse/convert.h"
+#include "sparse/generate.h"
+#include "sparse/reference.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+struct KernelCase {
+  const char* kernel;
+  int32_t rows;
+  int32_t cols;
+  double density;
+  int32_t dim;
+};
+
+class KernelCorrectnessTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelCorrectnessTest, MatchesReferenceAtFp32) {
+  const KernelCase& tc = GetParam();
+  Pcg32 rng(1234 + tc.rows + tc.dim);
+  CsrMatrix a = GenerateUniformSparse(tc.rows, tc.cols, tc.density, &rng);
+  DenseMatrix x = GenerateDense(tc.cols, tc.dim, &rng);
+  DenseMatrix expected = ReferenceSpmm(a, x);
+
+  auto kernel = MakeKernel(tc.kernel);
+  ASSERT_NE(kernel, nullptr);
+  KernelOptions opts;
+  opts.dtype = DataType::kFp32;  // disable rounding for bit-exact check
+  DenseMatrix z;
+  KernelProfile prof;
+  ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), opts, &z, &prof).ok());
+  EXPECT_LT(z.MaxAbsDifference(expected), 1e-4)
+      << tc.kernel << " deviates from reference";
+  EXPECT_GT(prof.time_ns, 0.0);
+  EXPECT_GT(prof.blocks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllShapes, KernelCorrectnessTest,
+    ::testing::ValuesIn(std::vector<KernelCase>{
+        // Every kernel on a small irregular shape.
+        {"cuda_basic", 50, 60, 0.10, 32},
+        {"cuda_opt", 50, 60, 0.10, 32},
+        {"tensor_basic", 50, 60, 0.10, 32},
+        {"tensor_opt", 50, 60, 0.10, 32},
+        {"hcspmm", 50, 60, 0.10, 32},
+        {"cusparse", 50, 60, 0.10, 32},
+        {"sputnik", 50, 60, 0.10, 32},
+        {"gespmm", 50, 60, 0.10, 32},
+        {"tcgnn", 50, 60, 0.10, 32},
+        {"dtcspmm", 50, 60, 0.10, 32},
+        // Unaligned dense dimensions (the Generalization case).
+        {"cuda_opt", 64, 64, 0.08, 47},
+        {"hcspmm", 64, 64, 0.08, 47},
+        {"tensor_opt", 64, 64, 0.08, 47},
+        {"hcspmm", 33, 70, 0.12, 89},
+        // Tall/wide and dense-ish.
+        {"hcspmm", 200, 40, 0.05, 16},
+        {"hcspmm", 16, 300, 0.02, 96},
+        {"hcspmm", 128, 128, 0.40, 32},
+    }),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return std::string(info.param.kernel) + "_" +
+             std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols) + "d" +
+             std::to_string(info.param.dim) + "_" + std::to_string(info.index);
+    });
+
+TEST(KernelTest, ShapeMismatchRejected) {
+  Pcg32 rng(1);
+  CsrMatrix a = GenerateUniformSparse(10, 12, 0.2, &rng);
+  DenseMatrix x(13, 8);  // wrong inner dim
+  for (const std::string& name : KernelNames()) {
+    auto kernel = MakeKernel(name);
+    DenseMatrix z;
+    KernelProfile prof;
+    Status st = kernel->Run(a, x, Rtx3090(), KernelOptions{}, &z, &prof);
+    EXPECT_FALSE(st.ok()) << name << " accepted mismatched shapes";
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(KernelTest, RegistryKnowsAllKernels) {
+  for (const std::string& name : KernelNames()) {
+    auto kernel = MakeKernel(name);
+    ASSERT_NE(kernel, nullptr) << name;
+    EXPECT_EQ(kernel->name(), name);
+  }
+  EXPECT_EQ(MakeKernel("no_such_kernel"), nullptr);
+}
+
+TEST(KernelTest, EmptyMatrixProducesZeros) {
+  CooMatrix coo(32, 32);
+  CsrMatrix a = CooToCsr(coo);
+  Pcg32 rng(2);
+  DenseMatrix x = GenerateDense(32, 16, &rng);
+  for (const std::string& name : KernelNames()) {
+    auto kernel = MakeKernel(name);
+    DenseMatrix z;
+    KernelProfile prof;
+    ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), KernelOptions{}, &z, &prof).ok()) << name;
+    for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(KernelTest, MatrixWithEmptyRowsAndDenseRows) {
+  // Rows 0..15 empty, row 16 fully dense, rest sparse.
+  CooMatrix coo(48, 48);
+  for (int c = 0; c < 48; ++c) coo.Add(16, c, 1.0f);
+  coo.Add(40, 3, 2.0f);
+  CsrMatrix a = CooToCsr(coo);
+  Pcg32 rng(3);
+  DenseMatrix x = GenerateDense(48, 24, &rng);
+  DenseMatrix expected = ReferenceSpmm(a, x);
+  KernelOptions opts;
+  opts.dtype = DataType::kFp32;
+  for (const std::string& name : KernelNames()) {
+    auto kernel = MakeKernel(name);
+    DenseMatrix z;
+    KernelProfile prof;
+    ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), opts, &z, &prof).ok());
+    EXPECT_LT(z.MaxAbsDifference(expected), 1e-4) << name;
+  }
+}
+
+TEST(KernelTest, Tf32RoundingIsCloseButNotExact) {
+  Pcg32 rng(4);
+  CsrMatrix a = GenerateUniformSparse(64, 64, 0.15, &rng);
+  DenseMatrix x = GenerateDense(64, 32, &rng);
+  DenseMatrix expected = ReferenceSpmm(a, x);
+  auto kernel = MakeKernel("tensor_opt");
+  KernelOptions opts;
+  opts.dtype = DataType::kTf32;
+  DenseMatrix z;
+  KernelProfile prof;
+  ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), opts, &z, &prof).ok());
+  // Within TF32 tolerance but typically not bit-exact.
+  EXPECT_LT(z.MaxAbsDifference(expected), 5e-2);
+}
+
+TEST(KernelTest, Fp16LessAccurateThanTf32) {
+  Pcg32 rng(5);
+  CsrMatrix a = GenerateUniformSparse(64, 64, 0.2, &rng);
+  DenseMatrix x = GenerateDense(64, 32, &rng);
+  DenseMatrix expected = ReferenceSpmm(a, x);
+  auto kernel = MakeKernel("tensor_opt");
+  DenseMatrix z_tf32, z_bf16;
+  KernelProfile p;
+  KernelOptions o1, o2;
+  o1.dtype = DataType::kTf32;
+  o2.dtype = DataType::kBf16;
+  ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), o1, &z_tf32, &p).ok());
+  ASSERT_TRUE(kernel->Run(a, x, Rtx3090(), o2, &z_bf16, &p).ok());
+  EXPECT_LT(z_tf32.MaxAbsDifference(expected), z_bf16.MaxAbsDifference(expected));
+}
+
+TEST(KernelProfileTest, CudaKernelIsComputeBoundTensorIsMemoryBound) {
+  Pcg32 rng(6);
+  CsrMatrix a = GenerateUniformSparse(160, 160, 0.10, &rng);
+  DenseMatrix x = GenerateDense(160, 32, &rng);
+  DenseMatrix z;
+  KernelProfile cuda_prof, tensor_prof;
+  ASSERT_TRUE(MakeKernel("cuda_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &cuda_prof).ok());
+  ASSERT_TRUE(MakeKernel("tensor_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &tensor_prof).ok());
+  EXPECT_LT(cuda_prof.CudaMemToCompute(), 1.0);    // Table I m/c(C) < 1
+  EXPECT_GT(tensor_prof.TensorMemToCompute(), 1.0);  // Table I m/c(T) > 1
+}
+
+TEST(KernelProfileTest, OptimizedCudaFasterThanBasic) {
+  Pcg32 rng(7);
+  CsrMatrix a = GenerateUniformSparse(320, 320, 0.05, &rng);
+  DenseMatrix x = GenerateDense(320, 47, &rng);  // unaligned dim
+  DenseMatrix z;
+  KernelProfile basic, opt;
+  ASSERT_TRUE(MakeKernel("cuda_basic")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &basic).ok());
+  ASSERT_TRUE(MakeKernel("cuda_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &opt).ok());
+  EXPECT_LT(opt.time_ns, basic.time_ns);
+}
+
+TEST(KernelProfileTest, OptimizedTensorFasterThanBasic) {
+  Pcg32 rng(8);
+  CsrMatrix a = GenerateUniformSparse(320, 320, 0.08, &rng);
+  DenseMatrix x = GenerateDense(320, 32, &rng);
+  DenseMatrix z;
+  KernelProfile basic, opt;
+  ASSERT_TRUE(MakeKernel("tensor_basic")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &basic).ok());
+  ASSERT_TRUE(MakeKernel("tensor_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &opt).ok());
+  EXPECT_LT(opt.time_ns, basic.time_ns);
+  EXPECT_GT(basic.bank_conflicts, 0);
+  EXPECT_EQ(opt.bank_conflicts, 0);
+}
+
+TEST(KernelProfileTest, NullProfileSkipsMetering) {
+  Pcg32 rng(9);
+  CsrMatrix a = GenerateUniformSparse(32, 32, 0.1, &rng);
+  DenseMatrix x = GenerateDense(32, 16, &rng);
+  DenseMatrix z;
+  EXPECT_TRUE(MakeKernel("cuda_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, nullptr).ok());
+  EXPECT_EQ(z.rows(), 32);
+}
+
+class SparsitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweepTest, DenserMatricesFavorTensorCores) {
+  // Reproduces the Fig. 1(a) trend at kernel granularity: relative Tensor
+  // advantage must grow monotonically as density rises.
+  const double sparsity = GetParam();
+  Pcg32 rng(42);
+  CsrMatrix a = GenerateBlockedMatrix(256, 128, sparsity, &rng);
+  DenseMatrix x = GenerateDense(128, 32, &rng);
+  DenseMatrix z;
+  KernelProfile cuda, tensor;
+  ASSERT_TRUE(MakeKernel("cuda_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &cuda).ok());
+  ASSERT_TRUE(MakeKernel("tensor_opt")->Run(a, x, Rtx3090(), KernelOptions{}, &z, &tensor).ok());
+  if (sparsity <= 0.75) {
+    EXPECT_LT(tensor.time_ns, cuda.time_ns) << "dense case should favor Tensor";
+  }
+  if (sparsity >= 0.93) {
+    EXPECT_LT(cuda.time_ns, tensor.time_ns) << "sparse case should favor CUDA";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparsitySweepTest,
+                         ::testing::Values(0.60, 0.70, 0.75, 0.93, 0.95));
+
+}  // namespace
+}  // namespace hcspmm

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/preprocess.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "layout/computing_intensity.h"
+#include "sparse/convert.h"
+#include "layout/loa.h"
+#include "sparse/generate.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+CsrMatrix SmallCommunityGraph(Pcg32* rng) {
+  Graph g = MoleculeUnion(256, 1200, 20, 8, rng);
+  return g.adjacency;
+}
+
+TEST(IntensityTest, MatchesEquationFive) {
+  // Two vertices: N(0)={1,2}, N(1)={2,3}: union {1,2,3}, 4 elements.
+  CooMatrix coo(4, 4);
+  coo.Add(0, 1, 1);
+  coo.Add(0, 2, 1);
+  coo.Add(1, 2, 1);
+  coo.Add(1, 3, 1);
+  CsrMatrix adj = CooToCsr(coo);
+  EXPECT_NEAR(WindowComputingIntensity(adj, {0, 1}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(IntensityTest, IncrementalFormulaMatchesBruteForce) {
+  Pcg32 rng(1);
+  CsrMatrix adj = SmallCommunityGraph(&rng);
+  // Pick a window of vertices and verify Eq. 6 against Eq. 5 when adding
+  // one more vertex.
+  std::vector<int32_t> window{0, 1, 2};
+  const int32_t candidate = 3;
+  // Brute-force numbers.
+  std::set<int32_t> cols;
+  int64_t elements = 0;
+  for (int32_t v : window) {
+    elements += adj.RowNnz(v);
+    for (int64_t k = adj.RowBegin(v); k < adj.RowEnd(v); ++k)
+      cols.insert(adj.col_ind()[k]);
+  }
+  int64_t overlap = 0;
+  for (int64_t k = adj.RowBegin(candidate); k < adj.RowEnd(candidate); ++k) {
+    overlap += cols.count(adj.col_ind()[k]);
+  }
+  const double incremental =
+      IncrementalIntensity(elements, cols.size(), adj.RowNnz(candidate), overlap);
+  std::vector<int32_t> extended = window;
+  extended.push_back(candidate);
+  EXPECT_NEAR(incremental, WindowComputingIntensity(adj, extended), 1e-12);
+}
+
+TEST(IntensityTest, EmptyWindowIsZero) {
+  CooMatrix coo(4, 4);
+  CsrMatrix adj = CooToCsr(coo);
+  EXPECT_DOUBLE_EQ(WindowComputingIntensity(adj, {0, 1}), 0.0);
+}
+
+TEST(LoaTest, ProducesValidPermutation) {
+  Pcg32 rng(2);
+  CsrMatrix adj = SmallCommunityGraph(&rng);
+  LoaResult loa = RunLoa(adj);
+  ASSERT_EQ(loa.order.size(), static_cast<size_t>(adj.rows()));
+  ASSERT_EQ(loa.perm.size(), static_cast<size_t>(adj.rows()));
+  std::set<int32_t> seen(loa.order.begin(), loa.order.end());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(adj.rows()));
+  for (int32_t i = 0; i < adj.rows(); ++i) {
+    EXPECT_EQ(loa.perm[loa.order[i]], i);  // inverse consistency
+  }
+}
+
+TEST(LoaTest, PreservesGraphStructure) {
+  Pcg32 rng(3);
+  CsrMatrix adj = SmallCommunityGraph(&rng);
+  LoaResult loa = RunLoa(adj);
+  CsrMatrix after = ApplyLayout(adj, loa);
+  EXPECT_EQ(after.nnz(), adj.nnz());
+  EXPECT_EQ(after.rows(), adj.rows());
+  // Degree multiset must be preserved.
+  std::vector<int64_t> d1, d2;
+  for (int32_t r = 0; r < adj.rows(); ++r) {
+    d1.push_back(adj.RowNnz(r));
+    d2.push_back(after.RowNnz(r));
+  }
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(LoaTest, ImprovesComputingIntensityOnScatteredGraph) {
+  // Scatter a community graph, then check LOA recovers most density.
+  Pcg32 rng(4);
+  Graph g = MoleculeUnion(512, 2600, 20, 8, &rng);
+  Graph scattered = ScatterIds(g, &rng);
+  const double before = MeanWindowIntensity(scattered.adjacency);
+  LoaResult loa = RunLoa(scattered.adjacency);
+  const double after = MeanWindowIntensity(ApplyLayout(scattered.adjacency, loa));
+  EXPECT_GT(after, before * 1.05);
+}
+
+TEST(LoaTest, IncreasesTensorEligibleWindows) {
+  // Fig. 15: after LOA more windows are routed to Tensor cores.
+  Pcg32 rng(5);
+  Graph g = MoleculeUnion(1024, 7000, 24, 8, &rng);
+  Graph scattered = ScatterIds(g, &rng);
+  auto before = Preprocess(scattered.adjacency, Rtx3090(), DefaultSelectorModel());
+  CsrMatrix opt = ApplyLayout(scattered.adjacency, RunLoa(scattered.adjacency));
+  auto after = Preprocess(opt, Rtx3090(), DefaultSelectorModel());
+  EXPECT_GE(after.ValueOrDie().windows_tensor, before.ValueOrDie().windows_tensor);
+}
+
+TEST(LoaTest, BasicAlgorithmAlsoValidPermutation) {
+  Pcg32 rng(6);
+  Graph g = MoleculeUnion(128, 600, 16, 8, &rng);
+  LoaConfig cfg;
+  cfg.vertex_window = 64;
+  LoaResult loa = RunLayoutReformatBasic(g.adjacency, cfg);
+  std::set<int32_t> seen(loa.order.begin(), loa.order.end());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(g.adjacency.rows()));
+}
+
+TEST(LoaTest, OptimizedMatchesBasicIntensityClosely) {
+  // Algorithm 6 is an efficiency rewrite of Algorithm 5: the achieved mean
+  // intensity must be essentially the same (ties may break differently).
+  Pcg32 rng(7);
+  Graph g = MoleculeUnion(256, 1400, 20, 8, &rng);
+  Graph scattered = ScatterIds(g, &rng);
+  LoaConfig cfg;
+  cfg.vertex_window = 64;
+  const double basic = MeanWindowIntensity(
+      ApplyLayout(scattered.adjacency,
+                  RunLayoutReformatBasic(scattered.adjacency, cfg)));
+  const double optimized = MeanWindowIntensity(
+      ApplyLayout(scattered.adjacency, RunLoa(scattered.adjacency, cfg)));
+  EXPECT_NEAR(optimized, basic, basic * 0.15);
+}
+
+TEST(LoaTest, OptimizedIsFasterThanBasic) {
+  Pcg32 rng(8);
+  Graph g = MoleculeUnion(1024, 6000, 24, 8, &rng);
+  LoaConfig cfg;
+  cfg.vertex_window = 128;
+  LoaResult basic = RunLayoutReformatBasic(g.adjacency, cfg);
+  LoaResult fast = RunLoa(g.adjacency, cfg);
+  EXPECT_LT(fast.elapsed_ms, basic.elapsed_ms);
+}
+
+TEST(LoaTest, HandlesIsolatedVertices) {
+  CooMatrix coo(40, 40);
+  coo.Add(0, 1, 1);
+  coo.Add(1, 0, 1);  // only two connected vertices
+  CsrMatrix adj = CooToCsr(coo);
+  LoaResult loa = RunLoa(adj);
+  std::set<int32_t> seen(loa.order.begin(), loa.order.end());
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(LoaTest, VertexWindowLimitsSearchButStaysValid) {
+  Pcg32 rng(9);
+  Graph g = MoleculeUnion(256, 1200, 20, 8, &rng);
+  for (int32_t vw : {4, 32, 512}) {
+    LoaConfig cfg;
+    cfg.vertex_window = vw;
+    LoaResult loa = RunLoa(g.adjacency, cfg);
+    std::set<int32_t> seen(loa.order.begin(), loa.order.end());
+    EXPECT_EQ(seen.size(), static_cast<size_t>(g.adjacency.rows())) << "VW=" << vw;
+  }
+}
+
+}  // namespace
+}  // namespace hcspmm

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/logistic_regression.h"
+#include "ml/training_pipeline.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+std::vector<LrSample> LinearlySeparable(int n, Pcg32* rng) {
+  // Label 1 iff x1 + 0.5 x2 > 1.
+  std::vector<LrSample> out;
+  for (int i = 0; i < n; ++i) {
+    LrSample s;
+    s.x1 = rng->NextDouble(0.0, 2.0);
+    s.x2 = rng->NextDouble(0.0, 2.0);
+    s.label = (s.x1 + 0.5 * s.x2 > 1.0) ? 1 : 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  Pcg32 rng(1);
+  auto samples = LinearlySeparable(500, &rng);
+  LogisticRegression lr;
+  double acc = lr.Train(samples);
+  EXPECT_GT(acc, 0.97);
+}
+
+TEST(LogisticRegressionTest, GeneralizesToHeldOut) {
+  Pcg32 rng(2);
+  auto train = LinearlySeparable(500, &rng);
+  auto test = LinearlySeparable(200, &rng);
+  LogisticRegression lr;
+  lr.Train(train);
+  EXPECT_GT(lr.Accuracy(test), 0.95);
+}
+
+TEST(LogisticRegressionTest, HandlesUnscaledFeatures) {
+  // x2 in the hundreds (like raw column counts): standardization inside
+  // Train must still converge and fold back into raw coefficients.
+  Pcg32 rng(3);
+  std::vector<LrSample> samples;
+  for (int i = 0; i < 400; ++i) {
+    LrSample s;
+    s.x1 = rng.NextDouble(0.0, 1.0);
+    s.x2 = rng.NextDouble(0.0, 300.0);
+    s.label = (10.0 * s.x1 - 0.05 * s.x2 > 2.0) ? 1 : 0;
+    samples.push_back(s);
+  }
+  LogisticRegression lr;
+  EXPECT_GT(lr.Train(samples), 0.93);
+}
+
+TEST(LogisticRegressionTest, PredictProbMonotoneInFeatures) {
+  LogisticRegression lr;
+  lr.SetCoefficients(2.0, -1.0, 0.0);
+  EXPECT_GT(lr.PredictProb(1.0, 0.0), lr.PredictProb(0.0, 0.0));
+  EXPECT_LT(lr.PredictProb(0.0, 1.0), lr.PredictProb(0.0, 0.0));
+}
+
+TEST(LogisticRegressionTest, CoefficientsRoundTrip) {
+  LogisticRegression lr;
+  lr.SetCoefficients(1.5, -0.25, 0.75);
+  EXPECT_DOUBLE_EQ(lr.w1(), 1.5);
+  EXPECT_DOUBLE_EQ(lr.w2(), -0.25);
+  EXPECT_DOUBLE_EQ(lr.bias(), 0.75);
+  EXPECT_NEAR(lr.PredictProb(0.0, 3.0), 1.0 / (1.0 + std::exp(0.0)), 1e-12);
+}
+
+TEST(TrainingPipelineTest, AccuracyAbovePaperThreshold) {
+  // SS IV-C: "accuracy greater than 90%" — needs the full column sweep.
+  SelectorTrainConfig cfg;
+  auto result = TrainCoreSelector(Rtx3090(), cfg);
+  EXPECT_GT(result.accuracy, 0.90);
+  EXPECT_GT(result.num_samples, 200);
+}
+
+TEST(TrainingPipelineTest, BothLabelsPresent) {
+  SelectorTrainConfig cfg;
+  cfg.col_step = 6;
+  auto result = TrainCoreSelector(Rtx3090(), cfg);
+  EXPECT_GT(result.cuda_labeled, 0);
+  EXPECT_LT(result.cuda_labeled, result.num_samples);
+}
+
+TEST(TrainingPipelineTest, TrainedModelAgreesWithEncodedDefault) {
+  // The shipped DefaultSelectorModel must make the same decisions as a
+  // freshly trained model on the vast majority of windows.
+  SelectorTrainConfig cfg;
+  cfg.col_step = 6;
+  auto result = TrainCoreSelector(Rtx3090(), cfg);
+  const SelectorModel fresh = result.model;
+  const SelectorModel shipped = DefaultSelectorModel();
+  int agree = 0, total = 0;
+  for (const LrSample& s : result.samples) {
+    ++total;
+    agree += (fresh.Select(s.x1, s.x2) == shipped.Select(s.x1, s.x2));
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(TrainingPipelineTest, DeterministicForSeed) {
+  SelectorTrainConfig cfg;
+  cfg.col_step = 13;
+  auto a = TrainCoreSelector(Rtx3090(), cfg);
+  auto b = TrainCoreSelector(Rtx3090(), cfg);
+  EXPECT_DOUBLE_EQ(a.model.w_sparsity, b.model.w_sparsity);
+  EXPECT_DOUBLE_EQ(a.model.w_cols, b.model.w_cols);
+  EXPECT_DOUBLE_EQ(a.model.bias, b.model.bias);
+}
+
+TEST(TrainingPipelineTest, SparsityFeatureDominates) {
+  // The learned boundary is primarily a sparsity threshold (Fig. 1a):
+  // the sparsity weight moves the logit far more over its feature range
+  // than the column weight does over the clamped column range.
+  SelectorTrainConfig cfg;
+  cfg.col_step = 6;
+  auto result = TrainCoreSelector(Rtx3090(), cfg);
+  EXPECT_GT(std::abs(result.model.w_sparsity) * 1.0,
+            std::abs(result.model.w_cols) * 130.0);
+  EXPECT_GT(result.model.w_sparsity, 0.0);  // sparser -> CUDA
+}
+
+}  // namespace
+}  // namespace hcspmm

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "sparse/convert.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/generate.h"
+#include "sparse/mmio.h"
+#include "sparse/reference.h"
+#include "util/random.h"
+
+namespace hcspmm {
+namespace {
+
+CooMatrix SmallCoo() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0f);
+  coo.Add(0, 2, 2.0f);
+  coo.Add(2, 0, 3.0f);
+  coo.Add(2, 1, 4.0f);
+  return coo;
+}
+
+TEST(CooTest, SortRowMajor) {
+  CooMatrix coo(3, 3);
+  coo.Add(2, 1, 1);
+  coo.Add(0, 2, 2);
+  coo.Add(0, 0, 3);
+  coo.SortRowMajor();
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[0].col, 0);
+  EXPECT_EQ(coo.entries()[2].row, 2);
+}
+
+TEST(CooTest, CoalesceSumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 1.0f);
+  coo.Add(0, 1, 2.5f);
+  coo.Add(1, 0, 1.0f);
+  coo.CoalesceDuplicates();
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 3.5f);
+}
+
+TEST(CooTest, InBounds) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1);
+  EXPECT_TRUE(coo.InBounds());
+  coo.Add(2, 0, 1);
+  EXPECT_FALSE(coo.InBounds());
+}
+
+TEST(CsrTest, FromCooBasic) {
+  CsrMatrix csr = CooToCsr(SmallCoo());
+  EXPECT_EQ(csr.rows(), 3);
+  EXPECT_EQ(csr.cols(), 3);
+  EXPECT_EQ(csr.nnz(), 4);
+  EXPECT_EQ(csr.RowNnz(0), 2);
+  EXPECT_EQ(csr.RowNnz(1), 0);
+  EXPECT_EQ(csr.RowNnz(2), 2);
+  EXPECT_TRUE(csr.Validate(/*require_sorted_columns=*/true));
+}
+
+TEST(CsrTest, SparsityComputation) {
+  CsrMatrix csr = CooToCsr(SmallCoo());
+  EXPECT_NEAR(csr.Sparsity(), 1.0 - 4.0 / 9.0, 1e-12);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CooMatrix coo(4, 4);
+  CsrMatrix csr = CooToCsr(coo);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_DOUBLE_EQ(csr.Sparsity(), 1.0);
+  EXPECT_TRUE(csr.Validate());
+}
+
+TEST(CsrTest, RoundTripThroughCoo) {
+  Pcg32 rng(1);
+  CsrMatrix a = GenerateUniformSparse(37, 53, 0.1, &rng);
+  CsrMatrix b = CooToCsr(CsrToCoo(a));
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_ind(), b.col_ind());
+  EXPECT_EQ(a.val(), b.val());
+}
+
+TEST(CsrTest, ValidateCatchesBadColumn) {
+  std::vector<int64_t> rp{0, 1};
+  std::vector<int32_t> ci{5};
+  std::vector<float> v{1.0f};
+  CsrMatrix bad(1, 3, rp, ci, v);
+  EXPECT_FALSE(bad.Validate());
+}
+
+TEST(TransposeTest, TransposeTwiceIsIdentity) {
+  Pcg32 rng(2);
+  CsrMatrix a = GenerateUniformSparse(29, 41, 0.15, &rng);
+  CsrMatrix att = TransposeCsr(TransposeCsr(a));
+  EXPECT_EQ(a.row_ptr(), att.row_ptr());
+  EXPECT_EQ(a.col_ind(), att.col_ind());
+  EXPECT_EQ(a.val(), att.val());
+}
+
+TEST(TransposeTest, ShapeSwaps) {
+  Pcg32 rng(3);
+  CsrMatrix a = GenerateUniformSparse(10, 20, 0.2, &rng);
+  CsrMatrix t = TransposeCsr(a);
+  EXPECT_EQ(t.rows(), 20);
+  EXPECT_EQ(t.cols(), 10);
+  EXPECT_EQ(t.nnz(), a.nnz());
+}
+
+TEST(PermuteTest, IdentityPermutationIsNoop) {
+  Pcg32 rng(4);
+  CsrMatrix a = GenerateUniformSparse(16, 16, 0.2, &rng);
+  std::vector<int32_t> id(16);
+  for (int i = 0; i < 16; ++i) id[i] = i;
+  CsrMatrix p = PermuteSymmetric(a, id);
+  EXPECT_EQ(a.col_ind(), p.col_ind());
+  EXPECT_EQ(a.val(), p.val());
+}
+
+TEST(PermuteTest, PreservesEntryMultiset) {
+  Pcg32 rng(5);
+  CsrMatrix a = GenerateUniformSparse(32, 32, 0.1, &rng);
+  std::vector<int32_t> perm(32);
+  for (int i = 0; i < 32; ++i) perm[i] = (i * 7 + 3) % 32;
+  CsrMatrix p = PermuteSymmetric(a, perm);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  // Check a few entries map correctly: A[i][j] == P[perm[i]][perm[j]].
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
+      const int32_t c = a.col_ind()[k];
+      bool found = false;
+      const int32_t pr = perm[r];
+      for (int64_t k2 = p.RowBegin(pr); k2 < p.RowEnd(pr); ++k2) {
+        if (p.col_ind()[k2] == perm[c]) {
+          EXPECT_FLOAT_EQ(p.val()[k2], a.val()[k]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(DenseTest, TransposedMatchesManual) {
+  DenseMatrix m(2, 3);
+  int v = 0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) m.At(r, c) = static_cast<float>(v++);
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(t.At(c, r), m.At(r, c));
+}
+
+TEST(DenseTest, Distances) {
+  DenseMatrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 0.0);
+  b.At(1, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 3.0);
+}
+
+TEST(ReferenceTest, SpmmMatchesManual) {
+  CsrMatrix a = CooToCsr(SmallCoo());
+  DenseMatrix x(3, 2);
+  x.At(0, 0) = 1;
+  x.At(0, 1) = 2;
+  x.At(1, 0) = 3;
+  x.At(1, 1) = 4;
+  x.At(2, 0) = 5;
+  x.At(2, 1) = 6;
+  DenseMatrix z = ReferenceSpmm(a, x);
+  // Row 0: 1*[1,2] + 2*[5,6] = [11,14]
+  EXPECT_FLOAT_EQ(z.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(z.At(0, 1), 14);
+  // Row 1: zeros
+  EXPECT_FLOAT_EQ(z.At(1, 0), 0);
+  // Row 2: 3*[1,2] + 4*[3,4] = [15,22]
+  EXPECT_FLOAT_EQ(z.At(2, 0), 15);
+  EXPECT_FLOAT_EQ(z.At(2, 1), 22);
+}
+
+TEST(ReferenceTest, GemmMatchesSpmmOnDensifiedMatrix) {
+  Pcg32 rng(6);
+  CsrMatrix a = GenerateUniformSparse(12, 15, 0.3, &rng);
+  DenseMatrix x = GenerateDense(15, 7, &rng);
+  // Densify A.
+  DenseMatrix ad(12, 15);
+  for (int32_t r = 0; r < 12; ++r)
+    for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k)
+      ad.At(r, a.col_ind()[k]) = a.val()[k];
+  DenseMatrix z1 = ReferenceSpmm(a, x);
+  DenseMatrix z2 = ReferenceGemm(ad, x);
+  EXPECT_LT(z1.MaxAbsDifference(z2), 1e-4);
+}
+
+TEST(ReferenceTest, GemmTransposedVariantsConsistent) {
+  Pcg32 rng(7);
+  DenseMatrix a = GenerateDense(9, 5, &rng);
+  DenseMatrix b = GenerateDense(9, 4, &rng);
+  DenseMatrix c1 = ReferenceGemmTransA(a, b);          // A^T B: 5x4
+  DenseMatrix c2 = ReferenceGemm(a.Transposed(), b);   // same
+  EXPECT_LT(c1.MaxAbsDifference(c2), 1e-4);
+
+  DenseMatrix d = GenerateDense(6, 5, &rng);
+  DenseMatrix e = GenerateDense(8, 5, &rng);
+  DenseMatrix f1 = ReferenceGemmTransB(d, e);          // D E^T: 6x8
+  DenseMatrix f2 = ReferenceGemm(d, e.Transposed());
+  EXPECT_LT(f1.MaxAbsDifference(f2), 1e-4);
+}
+
+TEST(MmioTest, ParseGeneralReal) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 1 1.5\n"
+      "3 2 -2.0\n";
+  auto r = ParseMatrixMarket(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CooMatrix& coo = r.ValueOrDie();
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.nnz(), 2);
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 1.5f);
+  EXPECT_EQ(coo.entries()[1].row, 2);
+  EXPECT_EQ(coo.entries()[1].col, 1);
+}
+
+TEST(MmioTest, ParseSymmetricMirrors) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n"
+      "3 3 5.0\n";
+  auto r = ParseMatrixMarket(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().nnz(), 3);  // off-diagonal mirrored, diagonal not
+}
+
+TEST(MmioTest, ParsePattern) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n";
+  auto r = ParseMatrixMarket(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.ValueOrDie().entries()[0].value, 1.0f);
+}
+
+TEST(MmioTest, RejectsBadBanner) {
+  auto r = ParseMatrixMarket("%%NotMM matrix coordinate real general\n1 1 0\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MmioTest, RejectsOutOfRangeIndex) {
+  auto r = ParseMatrixMarket(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(MmioTest, RoundTripThroughFile) {
+  Pcg32 rng(8);
+  CsrMatrix a = GenerateUniformSparse(10, 10, 0.2, &rng);
+  const std::string path = testing::TempDir() + "/roundtrip.mtx";
+  ASSERT_TRUE(WriteMatrixMarket(path, CsrToCoo(a)).ok());
+  auto r = ReadMatrixMarket(path);
+  ASSERT_TRUE(r.ok());
+  CsrMatrix b = CooToCsr(r.ValueOrDie());
+  EXPECT_EQ(a.col_ind(), b.col_ind());
+}
+
+class RowWindowGeneratorTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, int64_t>> {};
+
+TEST_P(RowWindowGeneratorTest, EveryColumnNonEmptyAndNnzExact) {
+  const auto [cols, nnz_req] = GetParam();
+  Pcg32 rng(100 + cols);
+  CsrMatrix m = GenerateRowWindowMatrix(16, cols, nnz_req, &rng);
+  EXPECT_EQ(m.rows(), 16);
+  EXPECT_EQ(m.cols(), cols);
+  const int64_t expected =
+      std::min<int64_t>(std::max<int64_t>(nnz_req, cols), 16LL * cols);
+  EXPECT_EQ(m.nnz(), expected);
+  std::vector<bool> seen(cols, false);
+  for (int32_t c : m.col_ind()) seen[c] = true;
+  for (int32_t c = 0; c < cols; ++c) EXPECT_TRUE(seen[c]) << "empty column " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RowWindowGeneratorTest,
+    ::testing::Combine(::testing::Values(1, 8, 32, 64, 130),
+                       ::testing::Values<int64_t>(1, 40, 128, 400)));
+
+class BlockedGeneratorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockedGeneratorTest, SparsityIsApproximatelyRequested) {
+  Pcg32 rng(55);
+  const double sparsity = GetParam();
+  CsrMatrix m = GenerateBlockedMatrix(64, 64, sparsity, &rng);
+  EXPECT_NEAR(m.Sparsity(), sparsity, 0.01);
+  EXPECT_TRUE(m.Validate(true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlockedGeneratorTest,
+                         ::testing::Values(0.80, 0.85, 0.90, 0.95));
+
+TEST(GenerateTest, UniformSparseDensity) {
+  Pcg32 rng(9);
+  CsrMatrix m = GenerateUniformSparse(100, 100, 0.05, &rng);
+  EXPECT_EQ(m.nnz(), 500);
+  EXPECT_TRUE(m.Validate(true));
+}
+
+}  // namespace
+}  // namespace hcspmm
