@@ -33,7 +33,13 @@ class HcSpmm : public SpmmKernel {
              KernelProfile* profile) const override;
 
   /// Amortized entry point for GNN training: reuse a prebuilt plan.
-  /// `a` must be the matrix the plan was built from.
+  ///
+  /// Precondition: `a` is content-identical to the matrix the plan was built
+  /// from (the same object, a copy, or a PlanCache fingerprint match).
+  /// Validation is structural — window tiling, per-window nnz and max row
+  /// degree — so it rejects accidental cross-matrix reuse cheaply but cannot
+  /// detect a matrix that differs only in column indices or values; such
+  /// misuse computes with a stale window classification.
   Status RunWithPlan(const HybridPlan& plan, const CsrMatrix& a, const DenseMatrix& x,
                      const DeviceSpec& dev, const KernelOptions& opts, DenseMatrix* z,
                      KernelProfile* profile) const;

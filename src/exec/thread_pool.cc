@@ -1,0 +1,181 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace hcspmm {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+// Which pool (and which of its deques) the current thread serves, so a
+// worker's own Submit lands on its own deque (LIFO, cache-warm).
+thread_local const void* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+/// Upper bound on chunks per participating thread; >1 lets fast threads
+/// steal the tail of a skewed partition instead of idling.
+constexpr int64_t kChunksPerThread = 4;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads > 0 ? num_threads : HardwareThreads();
+  n = std::max(1, n);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const size_t q =
+      tls_pool == this
+          ? static_cast<size_t>(tls_worker_index)
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::TryRunOne(int worker_index) {
+  std::function<void()> task;
+  // Own deque first, newest task (LIFO, cache-warm) ...
+  {
+    WorkQueue& own = *queues_[worker_index];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // ... then steal the oldest task from a sibling (FIFO).
+  if (!task) {
+    const int n = static_cast<int>(queues_.size());
+    for (int d = 1; d < n && !task; ++d) {
+      WorkQueue& victim = *queues_[(worker_index + d) % n];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_in_worker = true;
+  tls_pool = this;
+  tls_worker_index = worker_index;
+  for (;;) {
+    if (TryRunOne(worker_index)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_worker; }
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int ResolveNumThreads(int num_threads) {
+  return num_threads > 0 ? num_threads : ThreadPool::HardwareThreads();
+}
+
+namespace {
+
+struct ParallelForState {
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  int64_t chunks = 0;
+  int64_t begin = 0;
+  int64_t n = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int threads = ResolveNumThreads(num_threads);
+  grain = std::max<int64_t>(1, grain);
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t chunks =
+      std::min<int64_t>(max_chunks, static_cast<int64_t>(threads) * kChunksPerThread);
+  if (threads <= 1 || chunks <= 1 || ThreadPool::InWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->chunks = chunks;
+  state->begin = begin;
+  state->n = n;
+  state->fn = &fn;  // valid: the caller blocks until every chunk completed
+
+  auto drain = [state] {
+    for (;;) {
+      const int64_t i = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->chunks) return;
+      const int64_t b = state->begin + state->n * i / state->chunks;
+      const int64_t e = state->begin + state->n * (i + 1) / state->chunks;
+      (*state->fn)(b, e);
+      if (state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->chunks) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per extra participant; the caller drains too, so completion
+  // never depends on the pool actually scheduling a helper.
+  const int64_t helpers = std::min<int64_t>(threads - 1, chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) ThreadPool::Global()->Submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] {
+    return state->done_chunks.load(std::memory_order_acquire) == state->chunks;
+  });
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,92 @@
+// Host-side parallel execution primitives: a work-stealing ThreadPool and a
+// ParallelFor range partitioner. The functional SpMM/GEMM loops are embarrassingly
+// row-parallel (every output row is written by exactly one task, and the
+// per-element accumulation order never changes), so fp32 results are
+// bit-identical for any thread count — threading accelerates the simulator
+// without perturbing the numbers the paper reproduction depends on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcspmm {
+
+/// \brief Fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+/// and steals FIFO from siblings when its deque drains. Tasks must not
+/// block on other pool tasks; ParallelFor keeps the submitting thread
+/// working so progress never depends on a worker being scheduled.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task. Safe to call from any thread, including workers
+  /// (a worker submits to its own deque).
+  void Submit(std::function<void()> fn);
+
+  /// Process-wide pool sized to the hardware concurrency. Never destroyed
+  /// (leaked on purpose: worker threads must not outlive their pool during
+  /// static teardown).
+  static ThreadPool* Global();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Nested
+  /// ParallelFor calls detect this and run inline instead of deadlocking
+  /// on their own pool.
+  static bool InWorkerThread();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int HardwareThreads();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int worker_index);
+  bool TryRunOne(int worker_index);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<int64_t> pending_{0};
+};
+
+/// Resolve a KernelOptions-style thread-count knob: <= 0 means "hardware
+/// concurrency", anything else is taken literally.
+int ResolveNumThreads(int num_threads);
+
+/// \brief Run `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+///
+/// The range is split into contiguous, roughly equal chunks which the
+/// calling thread and the global pool drain from a shared counter — dynamic
+/// balancing for skewed (power-law) row distributions. `grain` caps the
+/// chunk *count* at ceil(n / grain) so tiny ranges don't pay pool overhead;
+/// individual chunks may still be smaller than `grain` and are not aligned
+/// to grain multiples. Runs inline when the range is trivial,
+/// `num_threads` resolves to 1, or the caller is already a pool worker.
+/// Blocks until every chunk completed. `fn` must tolerate concurrent
+/// invocation on disjoint chunks.
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain = 1);
+
+}  // namespace hcspmm

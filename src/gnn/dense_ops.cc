@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/scheduler.h"
 #include "sparse/reference.h"
@@ -11,6 +12,63 @@
 namespace hcspmm {
 
 namespace {
+
+/// Elementwise ops split into at-least-this-many-element chunks; smaller
+/// tensors are not worth a pool round-trip.
+constexpr int64_t kElementwiseGrain = 1 << 14;
+
+/// Minimum flops per GEMM chunk; below this a pool round-trip costs more
+/// than the arithmetic (the small weight GEMMs in GNN layers stay serial).
+constexpr int64_t kGemmGrainFlops = 1 << 17;
+
+/// Output rows per chunk for a GEMM whose rows cost `flops_per_row` each.
+int64_t GemmRowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kGemmGrainFlops / std::max<int64_t>(1, flops_per_row));
+}
+
+// Row-parallel GEMMs over the shared sparse/reference.cc row-range kernels:
+// one copy of each loop, so the parallel results are bit-identical to the
+// serial reference for every thread count (each output row is written by
+// exactly one task, per-element accumulation order fixed).
+
+DenseMatrix ParallelGemm(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.cols() == b.rows()) << "GEMM shape mismatch";
+  DenseMatrix c(a.rows(), b.cols());
+  ParallelFor(
+      0, a.rows(), /*num_threads=*/0,
+      [&](int64_t r0, int64_t r1) {
+        internal::GemmRows(a, b, static_cast<int32_t>(r0), static_cast<int32_t>(r1),
+                           &c);
+      },
+      GemmRowGrain(2ll * a.cols() * b.cols()));
+  return c;
+}
+
+DenseMatrix ParallelGemmTransA(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.rows() == b.rows()) << "GEMM^T shape mismatch";
+  DenseMatrix c(a.cols(), b.cols());
+  ParallelFor(
+      0, a.cols(), /*num_threads=*/0,
+      [&](int64_t i0, int64_t i1) {
+        internal::GemmTransARows(a, b, static_cast<int32_t>(i0),
+                                 static_cast<int32_t>(i1), &c);
+      },
+      GemmRowGrain(2ll * a.rows() * b.cols()));
+  return c;
+}
+
+DenseMatrix ParallelGemmTransB(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.cols() == b.cols()) << "GEMM B^T shape mismatch";
+  DenseMatrix c(a.rows(), b.rows());
+  ParallelFor(
+      0, a.rows(), /*num_threads=*/0,
+      [&](int64_t r0, int64_t r1) {
+        internal::GemmTransBRows(a, b, static_cast<int32_t>(r0),
+                                 static_cast<int32_t>(r1), &c);
+      },
+      GemmRowGrain(2ll * a.cols() * b.rows()));
+  return c;
+}
 
 // Meter a GEMM of logical shape m x k x n as one cuBLAS-style launch.
 void MeterGemm(const char* name, int32_t m, int32_t k, int32_t n,
@@ -47,26 +105,32 @@ DenseMatrix MeteredGemm(const DenseMatrix& a, const DenseMatrix& b,
                         const DeviceSpec& dev, DataType dtype,
                         KernelProfile* profile) {
   MeterGemm("gemm", a.rows(), a.cols(), b.cols(), dev, dtype, profile);
-  return ReferenceGemm(a, b);
+  return ParallelGemm(a, b);
 }
 
 DenseMatrix MeteredGemmTransA(const DenseMatrix& a, const DenseMatrix& b,
                               const DeviceSpec& dev, DataType dtype,
                               KernelProfile* profile) {
   MeterGemm("gemm_ta", a.cols(), a.rows(), b.cols(), dev, dtype, profile);
-  return ReferenceGemmTransA(a, b);
+  return ParallelGemmTransA(a, b);
 }
 
 DenseMatrix MeteredGemmTransB(const DenseMatrix& a, const DenseMatrix& b,
                               const DeviceSpec& dev, DataType dtype,
                               KernelProfile* profile) {
   MeterGemm("gemm_tb", a.rows(), a.cols(), b.rows(), dev, dtype, profile);
-  return ReferenceGemmTransB(a, b);
+  return ParallelGemmTransB(a, b);
 }
 
 void MeteredReluInPlace(DenseMatrix* m, const DeviceSpec& dev,
                         KernelProfile* profile) {
-  for (float& v : m->mutable_data()) v = std::max(v, 0.0f);
+  float* data = m->mutable_data().data();
+  ParallelFor(
+      0, static_cast<int64_t>(m->mutable_data().size()), /*num_threads=*/0,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) data[i] = std::max(data[i], 0.0f);
+      },
+      kElementwiseGrain);
   MeterElementwise("relu", m->MemoryBytes() * 2, dev, profile);
 }
 
@@ -74,9 +138,15 @@ DenseMatrix MeteredReluGrad(const DenseMatrix& grad_out, const DenseMatrix& pre_
                             const DeviceSpec& dev, KernelProfile* profile) {
   HCSPMM_CHECK(grad_out.rows() == pre_act.rows() && grad_out.cols() == pre_act.cols());
   DenseMatrix out(grad_out.rows(), grad_out.cols());
-  for (size_t i = 0; i < out.data().size(); ++i) {
-    out.mutable_data()[i] = pre_act.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
-  }
+  float* dst = out.mutable_data().data();
+  const float* go = grad_out.data().data();
+  const float* pa = pre_act.data().data();
+  ParallelFor(
+      0, static_cast<int64_t>(out.data().size()), /*num_threads=*/0,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) dst[i] = pa[i] > 0.0f ? go[i] : 0.0f;
+      },
+      kElementwiseGrain);
   MeterElementwise("relu_grad", out.MemoryBytes() * 3, dev, profile);
   return out;
 }
@@ -133,9 +203,14 @@ double PredictionAccuracy(const DenseMatrix& logits,
 
 void SgdStep(DenseMatrix* w, const DenseMatrix& grad, double lr) {
   HCSPMM_CHECK(w->rows() == grad.rows() && w->cols() == grad.cols());
-  for (size_t i = 0; i < w->data().size(); ++i) {
-    w->mutable_data()[i] -= static_cast<float>(lr * grad.data()[i]);
-  }
+  float* wd = w->mutable_data().data();
+  const float* gd = grad.data().data();
+  ParallelFor(
+      0, static_cast<int64_t>(w->data().size()), /*num_threads=*/0,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) wd[i] -= static_cast<float>(lr * gd[i]);
+      },
+      kElementwiseGrain);
 }
 
 }  // namespace hcspmm

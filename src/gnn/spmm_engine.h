@@ -1,12 +1,14 @@
 // SpmmEngine: binds a registered SpMM kernel to one (preprocessed) sparse
 // operator for repeated use inside GNN training — the integration point of
 // SS V. For "hcspmm" the hybrid plan is built once and amortized across all
-// epochs, exactly as the paper amortizes preprocessing (Appendix F).
+// epochs, exactly as the paper amortizes preprocessing (Appendix F); the
+// process-wide PlanCache extends the amortization across engines, so
+// rebinding the same matrix/device/dtype costs ~0 preprocessing.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/hybrid_spmm.h"
 #include "kernels/spmm_kernel.h"
@@ -33,16 +35,39 @@ struct PhaseBreakdown {
 /// \brief A kernel bound to one sparse operator (the normalized adjacency).
 class SpmmEngine {
  public:
-  /// `abar` must outlive the engine. `kernel_name` is any registry name.
+  /// `abar` must outlive the engine. `kernel_name` is any registry name; an
+  /// unknown name is surfaced through status() (and every Multiply call)
+  /// instead of crashing. `num_threads` seeds KernelOptions::num_threads for
+  /// all multiplies (<= 0 => hardware concurrency, 1 => serial).
   SpmmEngine(std::string kernel_name, const CsrMatrix* abar, const DeviceSpec& dev,
-             DataType dtype);
+             DataType dtype, int num_threads = 0);
+
+  /// Construction outcome: OK, or InvalidArgument naming the unknown kernel
+  /// and listing the registered ones.
+  const Status& status() const { return status_; }
 
   /// z = Abar * x with metering. Appends to `profile` if non-null.
   Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
 
+  /// Batched entry point for serving many independent feature matrices
+  /// (concurrent inference requests / multi-batch training). Wide batches
+  /// (>= thread count) distribute items across the pool, one serial task per
+  /// item; narrow batches run items sequentially with full row-level
+  /// parallelism each, so the pool never idles either way. `zs` is resized
+  /// to xs.size(); `xs` may point into the previous
+  /// contents of `*zs` (in-place layer chaining) — inputs are only released
+  /// after every item finished. Profiles accumulate in batch order, so the
+  /// metered result is deterministic. Returns the first item error, if any.
+  Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+
   /// One-time preprocessing time in ns (plan building for hcspmm,
   /// format conversion for tensor baselines, zero for CUDA kernels).
+  /// A PlanCache hit reports 0: nothing was rebuilt.
   double PreprocessNs() const { return preprocess_ns_; }
+
+  /// True when the hybrid plan came out of the process-wide PlanCache.
+  bool plan_from_cache() const { return plan_from_cache_; }
 
   /// Framework-specific auxiliary GPU memory (Table XII differences).
   int64_t AuxMemoryBytes() const { return aux_bytes_; }
@@ -50,20 +75,27 @@ class SpmmEngine {
   const std::string& kernel_name() const { return kernel_name_; }
   const DeviceSpec& device() const { return dev_; }
   DataType dtype() const { return dtype_; }
+  int num_threads() const { return num_threads_; }
   const CsrMatrix& abar() const { return *abar_; }
 
   /// Hybrid plan (populated only for "hcspmm").
-  const HybridPlan* plan() const { return plan_ ? &*plan_ : nullptr; }
+  const HybridPlan* plan() const { return plan_.get(); }
 
  private:
+  Status MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
+                             KernelProfile* profile, int num_threads) const;
+
   std::string kernel_name_;
   const CsrMatrix* abar_;
   DeviceSpec dev_;
   DataType dtype_;
+  int num_threads_ = 0;
   std::unique_ptr<SpmmKernel> kernel_;
-  std::optional<HybridPlan> plan_;
+  std::shared_ptr<const HybridPlan> plan_;
+  bool plan_from_cache_ = false;
   double preprocess_ns_ = 0.0;
   int64_t aux_bytes_ = 0;
+  Status status_;
 };
 
 }  // namespace hcspmm

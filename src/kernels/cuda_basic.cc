@@ -13,7 +13,7 @@ Status CudaBasicSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
   *z = DenseMatrix(a.rows(), x.cols());
   // CUDA cores always compute at full FP32 precision regardless of the
   // Tensor-core storage type (SS III-B).
-  internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z);
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z, opts.num_threads);
 
   if (profile != nullptr) {
     WindowedCsr windows = BuildWindows(a);

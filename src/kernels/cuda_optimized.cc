@@ -20,7 +20,7 @@ Status CudaOptimizedSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
     return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
   }
   *z = DenseMatrix(a.rows(), x.cols());
-  internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z);
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z, opts.num_threads);
 
   if (profile != nullptr) {
     WindowedCsr windows = BuildWindows(a);

@@ -1,6 +1,7 @@
 #include "kernels/spmm_kernel.h"
 
 #include "baselines/baselines.h"
+#include "exec/thread_pool.h"
 #include "core/fine_grained_hybrid.h"
 #include "core/hybrid_spmm.h"
 #include "gpusim/precision.h"
@@ -13,8 +14,10 @@ namespace hcspmm {
 
 namespace internal {
 
-void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
-                     int32_t row_end, DataType dtype, DenseMatrix* z) {
+namespace {
+
+void SpmmRowsSerial(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
+                    int32_t row_end, DataType dtype, DenseMatrix* z) {
   const int32_t dim = x.cols();
   if (dtype == DataType::kFp32) {
     for (int32_t r = row_begin; r < row_end; ++r) {
@@ -37,6 +40,22 @@ void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin
   }
 }
 
+}  // namespace
+
+void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
+                     int32_t row_end, DataType dtype, DenseMatrix* z,
+                     int num_threads) {
+  // Rows are written disjointly, so the partition only changes which thread
+  // produces a row, never the arithmetic within it.
+  ParallelFor(
+      row_begin, row_end, num_threads,
+      [&](int64_t b, int64_t e) {
+        SpmmRowsSerial(a, x, static_cast<int32_t>(b), static_cast<int32_t>(e), dtype,
+                       z);
+      },
+      /*grain=*/kRowWindowHeight);
+}
+
 }  // namespace internal
 
 std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name) {
@@ -54,10 +73,14 @@ std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name) {
   return nullptr;
 }
 
-std::vector<std::string> KernelNames() {
-  return {"cuda_basic", "cuda_opt", "tensor_basic", "tensor_opt",
-          "hcspmm",     "hybrid_fine", "cusparse",   "sputnik",
-          "gespmm",     "tcgnn",       "dtcspmm"};
+const std::vector<std::string>& RegisteredKernelNames() {
+  static const std::vector<std::string> names = {
+      "cuda_basic", "cuda_opt",    "tensor_basic", "tensor_opt",
+      "hcspmm",     "hybrid_fine", "cusparse",     "sputnik",
+      "gespmm",     "tcgnn",       "dtcspmm"};
+  return names;
 }
+
+std::vector<std::string> KernelNames() { return RegisteredKernelNames(); }
 
 }  // namespace hcspmm

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/row_window.h"
 #include "gpusim/device.h"
@@ -20,6 +21,12 @@ struct KernelOptions {
   /// Storage/compute type of the Tensor-core path. kFp32 disables rounding
   /// (useful for bit-exact correctness tests); the paper's default is TF32.
   DataType dtype = DataType::kTf32;
+  /// Host threads for the functional execution loops. <= 0 selects the
+  /// hardware concurrency; 1 runs serially. Row partitions are disjoint and
+  /// per-element accumulation order is fixed, so fp32 results are
+  /// bit-identical for every setting (simulated costs are metered
+  /// serially and never depend on it).
+  int num_threads = 0;
 };
 
 /// \brief Abstract SpMM kernel: computes Z = A * X functionally on the host
@@ -43,17 +50,26 @@ namespace internal {
 
 /// Functional CSR SpMM over a row range with operand rounding emulating the
 /// requested data type (accumulation stays FP32, as on real WMMA hardware).
+/// `num_threads` partitions the rows across the global ThreadPool (<= 0 =>
+/// hardware concurrency); each row is produced by exactly one thread with an
+/// unchanged accumulation order, so results match the serial loop bit-for-bit.
 void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
-                     int32_t row_end, DataType dtype, DenseMatrix* z);
+                     int32_t row_end, DataType dtype, DenseMatrix* z,
+                     int num_threads = 1);
 
 }  // namespace internal
 
 /// Look up a kernel by name. Known names: "cuda_basic", "cuda_opt",
-/// "tensor_basic", "tensor_opt", "hcspmm", "cusparse", "sputnik", "gespmm",
-/// "tcgnn", "dtcspmm". Returns nullptr for unknown names.
+/// "tensor_basic", "tensor_opt", "hcspmm", "hybrid_fine", "cusparse",
+/// "sputnik", "gespmm", "tcgnn", "dtcspmm". Returns nullptr for unknown
+/// names; callers that need a diagnostic should list RegisteredKernelNames().
 std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name);
 
 /// All registered kernel names in a stable order.
 std::vector<std::string> KernelNames();
+
+/// Canonical listing of every name MakeKernel accepts (same contents as
+/// KernelNames); use it to build "unknown kernel" error messages.
+const std::vector<std::string>& RegisteredKernelNames();
 
 }  // namespace hcspmm

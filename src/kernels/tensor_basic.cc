@@ -14,7 +14,7 @@ Status TensorBasicSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
   // Tensor cores round both operands to the storage type; accumulation is
   // FP32. Zero-padded lanes contribute zero, so the functional result is
   // the rounded-operand CSR product.
-  internal::SpmmRowsRounded(a, x, 0, a.rows(), opts.dtype, z);
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), opts.dtype, z, opts.num_threads);
 
   if (profile != nullptr) {
     WindowedCsr windows = BuildWindows(a);

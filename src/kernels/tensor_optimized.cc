@@ -19,7 +19,7 @@ Status TensorOptimizedSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
     return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
   }
   *z = DenseMatrix(a.rows(), x.cols());
-  internal::SpmmRowsRounded(a, x, 0, a.rows(), opts.dtype, z);
+  internal::SpmmRowsRounded(a, x, 0, a.rows(), opts.dtype, z, opts.num_threads);
 
   if (profile != nullptr) {
     WindowedCsr windows = BuildWindows(a);

@@ -19,49 +19,70 @@ DenseMatrix ReferenceSpmm(const CsrMatrix& a, const DenseMatrix& x) {
   return z;
 }
 
-DenseMatrix ReferenceGemm(const DenseMatrix& a, const DenseMatrix& b) {
-  HCSPMM_CHECK(a.cols() == b.rows()) << "GEMM shape mismatch";
-  DenseMatrix c(a.rows(), b.cols());
-  for (int32_t i = 0; i < a.rows(); ++i) {
+namespace internal {
+
+void GemmRows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
+              int32_t row_end, DenseMatrix* c) {
+  for (int32_t i = row_begin; i < row_end; ++i) {
     for (int32_t k = 0; k < a.cols(); ++k) {
       const float aik = a.At(i, k);
       if (aik == 0.0f) continue;
       const float* brow = b.RowData(k);
-      float* crow = c.MutableRowData(i);
+      float* crow = c->MutableRowData(i);
       for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+void GemmTransARows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
+                    int32_t row_end, DenseMatrix* c) {
+  // k (rows of A) stays the outer loop so each output element accumulates in
+  // k-ascending order no matter how the [row_begin, row_end) span is chosen.
+  for (int32_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.RowData(k);
+    const float* brow = b.RowData(k);
+    for (int32_t i = row_begin; i < row_end; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c->MutableRowData(i);
+      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void GemmTransBRows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
+                    int32_t row_end, DenseMatrix* c) {
+  for (int32_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a.RowData(i);
+    for (int32_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.RowData(j);
+      double acc = 0.0;
+      for (int32_t k = 0; k < a.cols(); ++k) acc += static_cast<double>(arow[k]) * brow[k];
+      c->At(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace internal
+
+DenseMatrix ReferenceGemm(const DenseMatrix& a, const DenseMatrix& b) {
+  HCSPMM_CHECK(a.cols() == b.rows()) << "GEMM shape mismatch";
+  DenseMatrix c(a.rows(), b.cols());
+  internal::GemmRows(a, b, 0, a.rows(), &c);
   return c;
 }
 
 DenseMatrix ReferenceGemmTransA(const DenseMatrix& a, const DenseMatrix& b) {
   HCSPMM_CHECK(a.rows() == b.rows()) << "GEMM^T shape mismatch";
   DenseMatrix c(a.cols(), b.cols());
-  for (int32_t k = 0; k < a.rows(); ++k) {
-    const float* arow = a.RowData(k);
-    const float* brow = b.RowData(k);
-    for (int32_t i = 0; i < a.cols(); ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.MutableRowData(i);
-      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  internal::GemmTransARows(a, b, 0, a.cols(), &c);
   return c;
 }
 
 DenseMatrix ReferenceGemmTransB(const DenseMatrix& a, const DenseMatrix& b) {
   HCSPMM_CHECK(a.cols() == b.cols()) << "GEMM B^T shape mismatch";
   DenseMatrix c(a.rows(), b.rows());
-  for (int32_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.RowData(i);
-    for (int32_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.RowData(j);
-      double acc = 0.0;
-      for (int32_t k = 0; k < a.cols(); ++k) acc += static_cast<double>(arow[k]) * brow[k];
-      c.At(i, j) = static_cast<float>(acc);
-    }
-  }
+  internal::GemmTransBRows(a, b, 0, a.rows(), &c);
   return c;
 }
 

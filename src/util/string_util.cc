@@ -19,6 +19,15 @@ std::vector<std::string> Split(const std::string& s, char delim) {
   return out;
 }
 
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
 std::string Trim(const std::string& s) {
   size_t b = 0, e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;

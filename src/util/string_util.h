@@ -9,6 +9,9 @@ namespace hcspmm {
 /// Split on a delimiter; empty tokens are kept.
 std::vector<std::string> Split(const std::string& s, char delim);
 
+/// Join with a separator: {"a","b"} + ", " -> "a, b".
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
 /// Strip ASCII whitespace from both ends.
 std::string Trim(const std::string& s);
 

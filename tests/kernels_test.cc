@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "kernels/cuda_basic.h"
 #include "kernels/cuda_optimized.h"
 #include "kernels/spmm_kernel.h"
@@ -95,6 +97,18 @@ TEST(KernelTest, RegistryKnowsAllKernels) {
     EXPECT_EQ(kernel->name(), name);
   }
   EXPECT_EQ(MakeKernel("no_such_kernel"), nullptr);
+}
+
+TEST(KernelTest, RegisteredKernelNamesMatchesRegistry) {
+  const std::vector<std::string>& names = RegisteredKernelNames();
+  EXPECT_FALSE(names.empty());
+  EXPECT_EQ(names, KernelNames());
+  for (const std::string& name : names) {
+    EXPECT_NE(MakeKernel(name), nullptr) << name;
+  }
+  // Stable, duplicate-free listing (error messages depend on it).
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
 }
 
 TEST(KernelTest, EmptyMatrixProducesZeros) {

@@ -52,7 +52,8 @@ TEST(IntensityTest, IncrementalFormulaMatchesBruteForce) {
   }
   const double incremental =
       IncrementalIntensity(elements, cols.size(), adj.RowNnz(candidate), overlap);
-  std::vector<int32_t> extended = window;
+  std::vector<int32_t> extended(window.begin(), window.end());
+  extended.reserve(window.size() + 1);
   extended.push_back(candidate);
   EXPECT_NEAR(incremental, WindowComputingIntensity(adj, extended), 1e-12);
 }
