@@ -12,6 +12,7 @@
 #include "gnn/trainer.h"
 #include "graph/datasets.h"
 #include "kernels/spmm_kernel.h"
+#include "runtime/runtime.h"
 #include "util/string_util.h"
 
 namespace hcspmm {
@@ -77,21 +78,22 @@ inline Graph LoadBenchGraphScaledDim(const std::string& code,
   return g;
 }
 
-/// Run one registered kernel on (a, dim) and return the simulated kernel
-/// time in microseconds (excluding launch overhead, like the paper's nvprof
-/// numbers). Fills *out if non-null.
+/// Run one registered kernel on (a, dim) through a runtime Session and
+/// return the simulated kernel time in microseconds (excluding launch
+/// overhead, like the paper's nvprof numbers; preprocessing is metered
+/// separately by the Session, and repeat bindings of the same matrix hit
+/// the PlanCache). Fills *out if non-null.
 inline double RunKernelUs(const std::string& kernel_name, const CsrMatrix& a,
                           int32_t dim, const DeviceSpec& dev,
                           DataType dtype = DataType::kTf32,
                           KernelProfile* out = nullptr) {
-  auto kernel = MakeKernel(kernel_name);
-  if (kernel == nullptr) return -1.0;
+  std::shared_ptr<Session> session = Runtime::Default()->OpenSession(
+      &a,
+      SessionOptions().set_kernel(kernel_name).set_device(dev).set_dtype(dtype));
   DenseMatrix x(a.cols(), dim, 0.5f);
   DenseMatrix z;
   KernelProfile prof;
-  KernelOptions opts;
-  opts.dtype = dtype;
-  Status st = kernel->Run(a, x, dev, opts, &z, &prof);
+  Status st = session->Multiply(x, &z, &prof);
   if (!st.ok()) {
     std::fprintf(stderr, "kernel %s failed: %s\n", kernel_name.c_str(),
                  st.ToString().c_str());

@@ -1,5 +1,6 @@
 // Figure 10: overall SpMM kernel performance across the 13 evaluation
-// datasets, reported as speedup over cuSPARSE.
+// datasets, reported as speedup over cuSPARSE. Kernels are bound through
+// runtime Sessions (RunKernelUs), so hcspmm plans are cached per dataset.
 // Paper: HC-SpMM is fastest everywhere — 1.85-19.6x over cuSPARSE,
 // 1.07-1.57x over Sputnik, 1.05-1.57x over GE-SpMM, 1.30-6.76x over
 // TC-GNN and 0.99-3.03x over DTC-SpMM.
@@ -49,5 +50,8 @@ int main() {
               "  (paper: " + paper[i] + ")");
   }
   PrintNote("shape target: HC-SpMM fastest on every dataset");
+  const PlanCacheStats cache = Runtime::Default()->plan_cache_stats();
+  PrintNote("plan cache after the sweep: " + std::to_string(cache.insertions) +
+            " plans built, " + std::to_string(cache.hits) + " hits");
   return 0;
 }

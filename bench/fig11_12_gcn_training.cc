@@ -41,5 +41,7 @@ int main() {
             FormatDouble(fwd_tc / n, 2) + "x over TC-GNN (paper 1.42)");
   PrintNote("avg HC speedup backward: " + FormatDouble(bwd_ge / n, 2) + "x over GE (paper 1.33), " +
             FormatDouble(bwd_tc / n, 2) + "x over TC-GNN (paper 1.48)");
+  PrintNote("trained through runtime Sessions (async backward pipeline; "
+            "simulated times are pipeline-invariant)");
   return 0;
 }

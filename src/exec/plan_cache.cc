@@ -1,5 +1,7 @@
 #include "exec/plan_cache.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace hcspmm {
@@ -77,10 +79,22 @@ int64_t PlanMemoryBytes(const HybridPlan& plan) {
   return bytes;
 }
 
+int64_t DefaultPlanCacheByteBudget() {
+  const char* env = std::getenv("HCSPMM_PLAN_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') return PlanCache::kDefaultByteBudget;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || parsed < 0) {
+    return PlanCache::kDefaultByteBudget;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
 PlanCache::PlanCache(int64_t byte_budget) : byte_budget_(byte_budget) {}
 
 PlanCache* PlanCache::Global() {
-  static PlanCache* cache = new PlanCache();
+  static PlanCache* cache = new PlanCache(DefaultPlanCacheByteBudget());
   return cache;
 }
 

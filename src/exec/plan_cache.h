@@ -66,7 +66,9 @@ class PlanCache {
 
   explicit PlanCache(int64_t byte_budget = kDefaultByteBudget);
 
-  /// Process-wide instance used by SpmmEngine.
+  /// Process-wide instance used by the default Runtime (and thus SpmmEngine).
+  /// Its byte budget honors HCSPMM_PLAN_CACHE_BYTES at first use; see
+  /// DefaultPlanCacheByteBudget().
   static PlanCache* Global();
 
   /// Returns the cached plan (refreshing its LRU position) or nullptr.
@@ -102,6 +104,12 @@ class PlanCache {
   std::unordered_map<PlanCacheKey, std::list<Entry>::iterator, PlanCacheKeyHash> index_;
   PlanCacheStats counters_;
 };
+
+/// Configured default byte budget: the HCSPMM_PLAN_CACHE_BYTES environment
+/// variable when set to a parseable non-negative integer, else
+/// PlanCache::kDefaultByteBudget. Read once per call (no caching), so tests
+/// can toggle the variable.
+int64_t DefaultPlanCacheByteBudget();
 
 /// 64-bit FNV-1a content hash over shape + row_ptr + col_ind + val.
 uint64_t FingerprintCsr(const CsrMatrix& m);

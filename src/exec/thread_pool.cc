@@ -18,7 +18,8 @@ constexpr int64_t kChunksPerThread = 4;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, bool nested_parallelism)
+    : nested_parallelism_(nested_parallelism) {
   int n = num_threads > 0 ? num_threads : HardwareThreads();
   n = std::max(1, n);
   queues_.reserve(n);
@@ -84,7 +85,9 @@ bool ThreadPool::TryRunOne(int worker_index) {
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
-  tls_in_worker = true;
+  // Executor-pool workers stay unflagged so their tasks keep full ParallelFor
+  // row parallelism (the helpers land on the *global* pool, not this one).
+  tls_in_worker = !nested_parallelism_;
   tls_pool = this;
   tls_worker_index = worker_index;
   for (;;) {

@@ -27,7 +27,16 @@ namespace hcspmm {
 class ThreadPool {
  public:
   /// `num_threads` <= 0 selects the hardware concurrency.
-  explicit ThreadPool(int num_threads = 0);
+  ///
+  /// By default workers are flagged via InWorkerThread(), so any ParallelFor
+  /// they issue runs inline (data-parallel helpers never pile up behind each
+  /// other). An *executor* pool — one whose tasks are coarse, independent
+  /// jobs such as the runtime's stream tasks — passes
+  /// `nested_parallelism = true`: its workers are not flagged, so a task may
+  /// fan its row loops out across the global pool. This is deadlock-free
+  /// because ParallelFor's caller always drains chunks itself; completion
+  /// never depends on another pool's scheduling.
+  explicit ThreadPool(int num_threads = 0, bool nested_parallelism = false);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -63,6 +72,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   std::vector<std::thread> workers_;
+  bool nested_parallelism_ = false;
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   std::atomic<bool> stop_{false};

@@ -11,6 +11,15 @@
 
 namespace hcspmm {
 
+/// Fold one metered profile into a phase accumulator pair — shared by the
+/// GCN/GIN phase accounting. Accumulation order is part of the determinism
+/// contract (fp addition is not associative), so pipelined executions
+/// re-fold profiles in the exact order the serial code would have.
+inline void FoldProfile(const KernelProfile& p, double* kernel_ns, double* launch_ns) {
+  *kernel_ns += p.time_ns;
+  *launch_ns += p.launch_ns;
+}
+
 /// Simulated time saved by fusing an Aggregation (producing a `rows` x
 /// `dim` intermediate) with its following Update kernels:
 /// `launches_saved` launch overheads plus the intermediate's write+read

@@ -17,17 +17,11 @@ DenseMatrix GlorotInit(int32_t in_dim, int32_t out_dim, Pcg32* rng) {
   return w;
 }
 
-namespace {
-
-void FoldProfile(const KernelProfile& p, double* kernel_ns, double* launch_ns) {
-  *kernel_ns += p.time_ns;
-  *launch_ns += p.launch_ns;
-}
-
-}  // namespace
-
 GcnModel::GcnModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine)
-    : graph_(graph), config_(config), engine_(engine) {
+    : GcnModel(graph, config, engine->session()) {}
+
+GcnModel::GcnModel(const Graph* graph, const GnnConfig& config, Session* session)
+    : graph_(graph), config_(config), session_(session) {
   HCSPMM_CHECK(config_.num_layers >= 1);
   Pcg32 rng(config_.seed);
   int32_t in_dim = graph_->feature_dim;
@@ -44,6 +38,13 @@ GcnModel::GcnModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engi
   for (DenseMatrix& w : weights_) optimizer_->AddParameter(&w);
 }
 
+Future<DenseMatrix> GcnModel::Aggregate(DenseMatrix in, KernelProfile* profile) {
+  if (config_.async_pipeline) return session_->MultiplyAsync(std::move(in), profile);
+  DenseMatrix out;
+  HCSPMM_CHECK_OK(session_->Multiply(in, &out, profile));
+  return MakeReadyFuture<DenseMatrix>(std::move(out));
+}
+
 DenseMatrix GcnModel::Forward(PhaseBreakdown* times) {
   inputs_.clear();
   aggregated_.clear();
@@ -54,19 +55,21 @@ DenseMatrix GcnModel::Forward(PhaseBreakdown* times) {
     // Update phase: U = X W (Equation 2, cuBLAS GEMM).
     KernelProfile gemm_prof;
     DenseMatrix u =
-        MeteredGemm(x, weights_[l], engine_->device(), engine_->dtype(), &gemm_prof);
+        MeteredGemm(x, weights_[l], session_->device(), session_->dtype(), &gemm_prof);
     if (times != nullptr) FoldProfile(gemm_prof, &times->update_ns, &times->launch_ns);
 
-    // Aggregation phase: Z = Abar U (Equation 1, SpMM).
+    // Aggregation phase: Z = Abar U (Equation 1, SpMM). The forward chain is
+    // strict (each layer consumes the previous aggregation immediately), so
+    // it runs synchronously; pipelining lives in Backward.
     KernelProfile agg_prof;
     DenseMatrix z;
-    HCSPMM_CHECK_OK(engine_->Multiply(u, &z, &agg_prof));
+    HCSPMM_CHECK_OK(session_->Multiply(u, &z, &agg_prof));
     if (times != nullptr) FoldProfile(agg_prof, &times->agg_ns, &times->launch_ns);
 
     aggregated_.push_back(z);
     if (l < config_.num_layers - 1) {
       KernelProfile relu_prof;
-      MeteredReluInPlace(&z, engine_->device(), &relu_prof);
+      MeteredReluInPlace(&z, session_->device(), &relu_prof);
       if (times != nullptr) {
         FoldProfile(relu_prof, &times->elementwise_ns, &times->launch_ns);
       }
@@ -81,29 +84,50 @@ DenseMatrix GcnModel::Forward(PhaseBreakdown* times) {
 
 void GcnModel::Backward(const DenseMatrix& grad_logits, PhaseBreakdown* times) {
   HCSPMM_CHECK(inputs_.size() == weights_.size()) << "run Forward first";
-  const DeviceSpec& dev = engine_->device();
-  const DataType dtype = engine_->dtype();
+  const DeviceSpec& dev = session_->device();
+  const DataType dtype = session_->dtype();
+  const int32_t num_layers = config_.num_layers;
 
-  std::vector<DenseMatrix> weight_grads(config_.num_layers);
-  DenseMatrix d_z = grad_logits;
-  for (int32_t l = config_.num_layers - 1; l >= 0; --l) {
+  // Software pipeline: the aggregation for layer l-1 is submitted as soon as
+  // its input dZ exists, so it overlaps the *deferred* dW GEMM of layer l on
+  // this thread — the async-pipelining overlap the paper's amortization
+  // story motivates. Indexed storage (not locals) because the profile a
+  // MultiplyAsync call fills must stay addressable until its future resolves.
+  std::vector<DenseMatrix> weight_grads(num_layers);
+  std::vector<KernelProfile> agg_profs(num_layers);
+  std::vector<Future<DenseMatrix>> agg_futs(num_layers);
+
+  agg_futs[num_layers - 1] = Aggregate(grad_logits, &agg_profs[num_layers - 1]);
+  for (int32_t l = num_layers - 1; l >= 0; --l) {
     // Aggregation backward: dU = Abar^T dZ = Abar dZ (Abar symmetric).
-    KernelProfile agg_prof;
-    DenseMatrix d_u;
-    HCSPMM_CHECK_OK(engine_->Multiply(d_z, &d_u, &agg_prof));
+    HCSPMM_CHECK_OK(agg_futs[l].status());
+    DenseMatrix d_u = agg_futs[l].Take();
 
-    // Update backward (Equation 3): dW = X^T dU ; dX = dU W^T.
-    KernelProfile gemm_prof;
-    DenseMatrix d_w =
-        MeteredGemmTransA(inputs_[l], d_u, dev, dtype, &gemm_prof);
+    // Critical path first: dX = dU W^T feeds the next layer's aggregation,
+    // which is submitted before the off-path dW GEMM below.
+    KernelProfile dx_prof, relu_prof;
     int32_t fusible_launches = 1;  // the dW GEMM fuses into the SpMM launch
-    DenseMatrix d_x;
     if (l > 0) {
-      d_x = MeteredGemmTransB(d_u, weights_[l], dev, dtype, &gemm_prof);
+      DenseMatrix d_x = MeteredGemmTransB(d_u, weights_[l], dev, dtype, &dx_prof);
       fusible_launches = 2;  // ... and so does the dX GEMM
+      if (config_.dropout > 0.0) {
+        DropoutBackward(&d_x, dropout_mask_[l - 1], config_.dropout);
+      }
+      DenseMatrix d_z = MeteredReluGrad(d_x, aggregated_[l - 1], dev, &relu_prof);
+      agg_futs[l - 1] = Aggregate(std::move(d_z), &agg_profs[l - 1]);
     }
+    // Update backward (Equation 3): dW = X^T dU — deferred off the critical
+    // path, overlapping the in-flight aggregation.
+    KernelProfile dw_prof;
+    weight_grads[l] = MeteredGemmTransA(inputs_[l], d_u, dev, dtype, &dw_prof);
+
     if (times != nullptr) {
-      FoldProfile(agg_prof, &times->agg_ns, &times->launch_ns);
+      // Fold in the exact order of the serial path (fp addition is not
+      // associative): aggregation, then the dW GEMM accumulated before the
+      // dX GEMM, fusion adjustment, ReLU grad.
+      FoldProfile(agg_profs[l], &times->agg_ns, &times->launch_ns);
+      KernelProfile gemm_prof = dw_prof;
+      gemm_prof.Accumulate(dx_prof);
       FoldProfile(gemm_prof, &times->update_ns, &times->launch_ns);
       if (config_.fuse_kernels) {
         // SS V-A: Update follows Aggregation in GCN backward, so the
@@ -114,17 +138,7 @@ void GcnModel::Backward(const DenseMatrix& grad_logits, PhaseBreakdown* times) {
             FusionSavingsNs(d_u.rows(), d_u.cols(), 0, dev, dtype);
         times->agg_ns = std::max(0.0, times->agg_ns - traffic_ns);
       }
-    }
-
-    weight_grads[l] = std::move(d_w);
-
-    if (l > 0) {
-      if (config_.dropout > 0.0) {
-        DropoutBackward(&d_x, dropout_mask_[l - 1], config_.dropout);
-      }
-      KernelProfile relu_prof;
-      d_z = MeteredReluGrad(d_x, aggregated_[l - 1], dev, &relu_prof);
-      if (times != nullptr) {
+      if (l > 0) {
         FoldProfile(relu_prof, &times->elementwise_ns, &times->launch_ns);
       }
     }

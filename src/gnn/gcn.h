@@ -25,6 +25,11 @@ struct GnnConfig {
   OptimizerKind optimizer = OptimizerKind::kSgd;
   /// Inverted dropout rate applied after each hidden ReLU (0 disables).
   double dropout = 0.0;
+  /// Submit backward aggregations through Session::MultiplyAsync so they
+  /// overlap the deferred weight-gradient GEMMs on the caller thread. fp32
+  /// results and metered profiles are bit-identical either way; only
+  /// wall-clock changes.
+  bool async_pipeline = true;
 };
 
 /// Loss and per-phase timing of one training epoch.
@@ -39,8 +44,11 @@ struct EpochResult {
 /// \brief Multi-layer GCN with full forward/backward and SGD.
 class GcnModel {
  public:
-  /// `graph` and `engine` must outlive the model. The engine's sparse
+  /// `graph` and `session` must outlive the model. The session's sparse
   /// operator must be GcnNormalized(graph->adjacency).
+  GcnModel(const Graph* graph, const GnnConfig& config, Session* session);
+
+  /// Back-compat adapter: binds to the engine's underlying session.
   GcnModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine);
 
   /// Forward pass; caches activations for backward. Returns logits.
@@ -61,9 +69,14 @@ class GcnModel {
   int64_t ParameterBytes() const;
 
  private:
+  /// Aggregate `in`, honoring config_.async_pipeline: either dispatched to
+  /// the session's stream (overlapping the caller's next GEMM) or computed
+  /// inline at the same program point. `profile` must outlive the future.
+  Future<DenseMatrix> Aggregate(DenseMatrix in, KernelProfile* profile);
+
   const Graph* graph_;
   GnnConfig config_;
-  SpmmEngine* engine_;
+  Session* session_;
   std::vector<DenseMatrix> weights_;
   std::unique_ptr<Optimizer> optimizer_;
   Pcg32 dropout_rng_{0xd509};

@@ -6,15 +6,11 @@
 
 namespace hcspmm {
 
-namespace {
-void FoldProfile(const KernelProfile& p, double* kernel_ns, double* launch_ns) {
-  *kernel_ns += p.time_ns;
-  *launch_ns += p.launch_ns;
-}
-}  // namespace
-
 GinModel::GinModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine)
-    : graph_(graph), config_(config), engine_(engine) {
+    : GinModel(graph, config, engine->session()) {}
+
+GinModel::GinModel(const Graph* graph, const GnnConfig& config, Session* session)
+    : graph_(graph), config_(config), session_(session) {
   HCSPMM_CHECK(config_.num_layers >= 1);
   Pcg32 rng(config_.seed);
   int32_t in_dim = graph_->feature_dim;
@@ -27,21 +23,30 @@ GinModel::GinModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engi
   }
 }
 
+Future<DenseMatrix> GinModel::Aggregate(DenseMatrix in, KernelProfile* profile) {
+  if (config_.async_pipeline) return session_->MultiplyAsync(std::move(in), profile);
+  DenseMatrix out;
+  HCSPMM_CHECK_OK(session_->Multiply(in, &out, profile));
+  return MakeReadyFuture<DenseMatrix>(std::move(out));
+}
+
 DenseMatrix GinModel::Forward(PhaseBreakdown* times) {
   inputs_.clear();
   aggregated_.clear();
   hidden_pre_.clear();
   hidden_act_.clear();
-  const DeviceSpec& dev = engine_->device();
-  const DataType dtype = engine_->dtype();
+  const DeviceSpec& dev = session_->device();
+  const DataType dtype = session_->dtype();
 
   DenseMatrix x = graph_->features;
   for (int32_t l = 0; l < config_.num_layers; ++l) {
     inputs_.push_back(x);
-    // Aggregation first: Z = (A + (1+eps) I) X.
+    // Aggregation first: Z = (A + (1+eps) I) X. The forward chain is strict
+    // (the MLP consumes Z immediately), so it runs synchronously; the
+    // pipelining overlap lives in Backward.
     KernelProfile agg_prof;
     DenseMatrix z;
-    HCSPMM_CHECK_OK(engine_->Multiply(x, &z, &agg_prof));
+    HCSPMM_CHECK_OK(session_->Multiply(x, &z, &agg_prof));
     aggregated_.push_back(z);
 
     // Update: two-layer MLP.
@@ -72,36 +77,54 @@ DenseMatrix GinModel::Forward(PhaseBreakdown* times) {
 
 void GinModel::Backward(const DenseMatrix& grad_logits, PhaseBreakdown* times) {
   HCSPMM_CHECK(inputs_.size() == w1_.size()) << "run Forward first";
-  const DeviceSpec& dev = engine_->device();
-  const DataType dtype = engine_->dtype();
+  const DeviceSpec& dev = session_->device();
+  const DataType dtype = session_->dtype();
 
   DenseMatrix d_out = grad_logits;
   for (int32_t l = config_.num_layers - 1; l >= 0; --l) {
-    KernelProfile gemm_prof;
-    // d(w2), d(hidden activation).
-    DenseMatrix d_w2 = MeteredGemmTransA(hidden_act_[l], d_out, dev, dtype, &gemm_prof);
-    DenseMatrix d_act = MeteredGemmTransB(d_out, w2_[l], dev, dtype, &gemm_prof);
-    KernelProfile relu_prof;
+    // Critical path to the aggregation input dZ first: d(hidden activation),
+    // ReLU grad, then dZ = dH W1^T — so the aggregation can be submitted
+    // before the off-path weight-gradient GEMMs below.
+    KernelProfile dact_prof, relu_prof, dz_prof;
+    DenseMatrix d_act = MeteredGemmTransB(d_out, w2_[l], dev, dtype, &dact_prof);
     DenseMatrix d_h = MeteredReluGrad(d_act, hidden_pre_[l], dev, &relu_prof);
-    // d(w1), d(aggregated).
-    DenseMatrix d_w1 = MeteredGemmTransA(aggregated_[l], d_h, dev, dtype, &gemm_prof);
-    DenseMatrix d_z = MeteredGemmTransB(d_h, w1_[l], dev, dtype, &gemm_prof);
+    DenseMatrix d_z = MeteredGemmTransB(d_h, w1_[l], dev, dtype, &dz_prof);
 
-    // Aggregation backward last (Update precedes it -> no fusion).
+    // Aggregation backward (Update precedes it -> no fusion). Submitted
+    // async: it overlaps the dW1/dW2 GEMMs and the SGD steps on this thread.
     KernelProfile agg_prof;
+    Future<DenseMatrix> agg_fut;
+    if (l > 0) {
+      agg_fut = Aggregate(std::move(d_z), &agg_prof);
+    }
+
+    // Deferred off the critical path: d(w2), d(w1), and the SGD updates.
+    // dW2 reads w2 nowhere and dZ above already consumed the pre-step w1,
+    // so stepping here is equivalent to the serial order.
+    KernelProfile dw2_prof, dw1_prof;
+    DenseMatrix d_w2 = MeteredGemmTransA(hidden_act_[l], d_out, dev, dtype, &dw2_prof);
+    DenseMatrix d_w1 = MeteredGemmTransA(aggregated_[l], d_h, dev, dtype, &dw1_prof);
+    SgdStep(&w1_[l], d_w1, config_.learning_rate);
+    SgdStep(&w2_[l], d_w2, config_.learning_rate);
+
     DenseMatrix d_x;
     if (l > 0) {
-      HCSPMM_CHECK_OK(engine_->Multiply(d_z, &d_x, &agg_prof));
+      HCSPMM_CHECK_OK(agg_fut.status());
+      d_x = agg_fut.Take();
     }
 
     if (times != nullptr) {
+      // Same fold order as the serial path: one gemm profile accumulated in
+      // the order dW2, dAct, dW1, dZ; then ReLU grad, then aggregation.
+      KernelProfile gemm_prof = dw2_prof;
+      gemm_prof.Accumulate(dact_prof);
+      gemm_prof.Accumulate(dw1_prof);
+      gemm_prof.Accumulate(dz_prof);
       FoldProfile(gemm_prof, &times->update_ns, &times->launch_ns);
       FoldProfile(relu_prof, &times->elementwise_ns, &times->launch_ns);
       FoldProfile(agg_prof, &times->agg_ns, &times->launch_ns);
     }
 
-    SgdStep(&w1_[l], d_w1, config_.learning_rate);
-    SgdStep(&w2_[l], d_w2, config_.learning_rate);
     if (l > 0) d_out = std::move(d_x);
   }
 }

@@ -12,7 +12,10 @@ namespace hcspmm {
 /// \brief Multi-layer GIN with full forward/backward and SGD.
 class GinModel {
  public:
-  /// The engine's sparse operator must be GinOperator(graph->adjacency).
+  /// The session's sparse operator must be GinOperator(graph->adjacency).
+  GinModel(const Graph* graph, const GnnConfig& config, Session* session);
+
+  /// Back-compat adapter: binds to the engine's underlying session.
   GinModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine);
 
   DenseMatrix Forward(PhaseBreakdown* times);
@@ -26,9 +29,12 @@ class GinModel {
   int64_t ParameterBytes() const;
 
  private:
+  /// Aggregate `in`, honoring config_.async_pipeline (see GcnModel).
+  Future<DenseMatrix> Aggregate(DenseMatrix in, KernelProfile* profile);
+
   const Graph* graph_;
   GnnConfig config_;
-  SpmmEngine* engine_;
+  Session* session_;
   std::vector<DenseMatrix> w1_, w2_;  // per-layer MLP weights
   // Caches from the last Forward.
   std::vector<DenseMatrix> inputs_;      // X_l

@@ -2,154 +2,29 @@
 
 #include <utility>
 
-#include "baselines/baselines.h"
-#include "exec/plan_cache.h"
-#include "exec/thread_pool.h"
-#include "util/string_util.h"
+#include "runtime/runtime.h"
 
 namespace hcspmm {
 
 SpmmEngine::SpmmEngine(std::string kernel_name, const CsrMatrix* abar,
-                       const DeviceSpec& dev, DataType dtype, int num_threads)
-    : kernel_name_(std::move(kernel_name)),
-      abar_(abar),
-      dev_(dev),
-      dtype_(dtype),
-      num_threads_(num_threads) {
-  kernel_ = MakeKernel(kernel_name_);
-  if (kernel_ == nullptr) {
-    status_ = Status::InvalidArgument(
-        "unknown kernel '" + kernel_name_ +
-        "'; registered kernels: " + Join(RegisteredKernelNames(), ", "));
-    return;
-  }
-
-  // Resolve the hybrid plan first: on a PlanCache hit the preprocessing cost
-  // vanishes and the cached windowing doubles as the aux-memory statistics
-  // source, so nothing is recomputed.
-  const WindowedCsr* windows = nullptr;
-  WindowedCsr local_windows;
-  if (kernel_name_ == "hcspmm") {
-    const PlanCacheKey key = MakePlanCacheKey(*abar_, dev_, dtype_);
-    plan_ = PlanCache::Global()->Lookup(key);
-    if (plan_ != nullptr) {
-      plan_from_cache_ = true;
-      preprocess_ns_ = 0.0;
-    } else {
-      auto plan = Preprocess(*abar_, dev_, DefaultSelectorModelFor(dev_.name));
-      if (!plan.ok()) {
-        status_ = plan.status();
-        return;
-      }
-      preprocess_ns_ = plan.ValueOrDie().preprocess_profile.TotalNs();
-      // Detach the plan from this particular matrix object before sharing:
-      // the cache (and any engine hitting it) may outlive `abar`, and
-      // RunWithPlan validates plans structurally.
-      plan.ValueOrDie().windows.csr = nullptr;
-      auto shared = std::make_shared<const HybridPlan>(std::move(plan.ValueOrDie()));
-      PlanCache::Global()->Insert(key, shared);
-      plan_ = std::move(shared);
-    }
-    windows = &plan_->windows;
-  } else {
-    local_windows = BuildWindows(*abar_);
-    windows = &local_windows;
-  }
-
-  // Shared window statistics used by the aux-memory model.
-  int64_t total_unique_cols = 0;
-  for (const RowWindow& w : windows->windows) total_unique_cols += w.NumCols();
-  const int64_t condensed_bytes = total_unique_cols * 4;
-  const int64_t num_windows = static_cast<int64_t>(windows->windows.size());
-
-  if (kernel_name_ == "hcspmm") {
-    // CSR (for CUDA windows) + condensed metadata (for Tensor windows) +
-    // the per-window boolean core array: the "additional data structure"
-    // behind Table XII's +2% / +6%.
-    aux_bytes_ = condensed_bytes + num_windows * (16 + 1) + abar_->nnz() * 3;
-  } else if (kernel_name_ == "tcgnn") {
-    preprocess_ns_ = TcGnnLikeSpmm::PreprocessNs(*abar_);
-    aux_bytes_ = condensed_bytes;  // condensed format replaces workspace
-  } else if (kernel_name_ == "dtcspmm") {
-    preprocess_ns_ = DtcSpmmLikeSpmm::PreprocessNs(*abar_, dev_);
-    aux_bytes_ = condensed_bytes + num_windows * 8;
-  } else if (kernel_name_ == "gespmm" || kernel_name_ == "sputnik" ||
-             kernel_name_ == "cusparse") {
-    aux_bytes_ = abar_->nnz() * 3;  // row-splitting / balancing workspace
-  }
-}
-
-Status SpmmEngine::MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
-                                       KernelProfile* profile,
-                                       int num_threads) const {
-  if (!status_.ok()) return status_;
-  KernelProfile local;
-  KernelOptions opts;
-  opts.dtype = dtype_;
-  opts.num_threads = num_threads;
-  Status st;
-  if (plan_ != nullptr) {
-    const auto* hc = static_cast<const HcSpmm*>(kernel_.get());
-    st = hc->RunWithPlan(*plan_, *abar_, x, dev_, opts, z, &local);
-  } else {
-    st = kernel_->Run(*abar_, x, dev_, opts, z, &local);
-  }
-  if (st.ok() && profile != nullptr) profile->Accumulate(local);
-  return st;
+                       const DeviceSpec& dev, DataType dtype, int num_threads) {
+  session_ = Runtime::Default()->OpenSession(abar, SessionOptions()
+                                                       .set_kernel(std::move(kernel_name))
+                                                       .set_device(dev)
+                                                       .set_dtype(dtype)
+                                                       .set_num_threads(num_threads));
+  status_ = session_->WaitReady();  // synchronous construction contract
 }
 
 Status SpmmEngine::Multiply(const DenseMatrix& x, DenseMatrix* z,
                             KernelProfile* profile) const {
-  return MultiplyWithThreads(x, z, profile, num_threads_);
+  return session_->Multiply(x, z, profile);
 }
 
 Status SpmmEngine::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                                  std::vector<DenseMatrix>* zs,
                                  KernelProfile* profile) const {
-  if (!status_.ok()) return status_;
-  if (zs == nullptr) return Status::InvalidArgument("MultiplyBatch: zs is null");
-  for (const DenseMatrix* x : xs) {
-    if (x == nullptr) return Status::InvalidArgument("MultiplyBatch: null input");
-  }
-  if (xs.empty()) {
-    zs->clear();
-    return Status::OK();
-  }
-
-  // Results go into a scratch vector first so callers may alias *zs with the
-  // inputs (in-place layer chaining): nothing xs points at is touched until
-  // every item finished computing.
-  std::vector<DenseMatrix> results(xs.size());
-  std::vector<KernelProfile> profiles(xs.size());
-  std::vector<Status> statuses(xs.size());
-  const int threads = ResolveNumThreads(num_threads_);
-  if (static_cast<int64_t>(xs.size()) >= threads) {
-    // Wide batch: batch-level parallelism saturates the pool; items stay
-    // serial inside their task (nested ParallelFor would run inline anyway).
-    ParallelFor(0, static_cast<int64_t>(xs.size()), num_threads_,
-                [&](int64_t begin, int64_t end) {
-                  for (int64_t i = begin; i < end; ++i) {
-                    statuses[i] = MultiplyWithThreads(*xs[i], &results[i],
-                                                      &profiles[i],
-                                                      /*num_threads=*/1);
-                  }
-                });
-  } else {
-    // Narrow batch: item-level parallelism would idle most of the pool, so
-    // run items sequentially with full row-level parallelism each.
-    for (size_t i = 0; i < xs.size(); ++i) {
-      statuses[i] = MultiplyWithThreads(*xs[i], &results[i], &profiles[i],
-                                        num_threads_);
-    }
-  }
-  // Fail without touching the caller's profile: a partial accumulation would
-  // double-count the successful items when the batch is retried.
-  for (const Status& st : statuses) HCSPMM_RETURN_NOT_OK(st);
-  if (profile != nullptr) {
-    for (const KernelProfile& p : profiles) profile->Accumulate(p);  // batch order
-  }
-  *zs = std::move(results);
-  return Status::OK();
+  return session_->MultiplyBatch(xs, zs, profile);
 }
 
 }  // namespace hcspmm

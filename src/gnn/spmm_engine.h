@@ -1,9 +1,8 @@
-// SpmmEngine: binds a registered SpMM kernel to one (preprocessed) sparse
-// operator for repeated use inside GNN training — the integration point of
-// SS V. For "hcspmm" the hybrid plan is built once and amortized across all
-// epochs, exactly as the paper amortizes preprocessing (Appendix F); the
-// process-wide PlanCache extends the amortization across engines, so
-// rebinding the same matrix/device/dtype costs ~0 preprocessing.
+// SpmmEngine: thin *synchronous* adapter over the runtime Session API, kept
+// for callers that want blocking construction and blocking multiplies. The
+// engine logic itself — kernel binding, PlanCache amortization (Appendix F),
+// batched serving — lives in src/runtime/session.{h,cc}; new code should
+// open a Session via Runtime::OpenSession and use MultiplyAsync/Futures.
 #pragma once
 
 #include <memory>
@@ -12,6 +11,7 @@
 
 #include "core/hybrid_spmm.h"
 #include "kernels/spmm_kernel.h"
+#include "runtime/session.h"
 
 namespace hcspmm {
 
@@ -33,6 +33,9 @@ struct PhaseBreakdown {
 };
 
 /// \brief A kernel bound to one sparse operator (the normalized adjacency).
+///
+/// Construction opens a Session on Runtime::Default() and blocks until its
+/// preprocessing finished, reproducing the historical synchronous contract.
 class SpmmEngine {
  public:
   /// `abar` must outlive the engine. `kernel_name` is any registry name; an
@@ -49,52 +52,39 @@ class SpmmEngine {
   /// z = Abar * x with metering. Appends to `profile` if non-null.
   Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
 
-  /// Batched entry point for serving many independent feature matrices
-  /// (concurrent inference requests / multi-batch training). Wide batches
-  /// (>= thread count) distribute items across the pool, one serial task per
-  /// item; narrow batches run items sequentially with full row-level
-  /// parallelism each, so the pool never idles either way. `zs` is resized
-  /// to xs.size(); `xs` may point into the previous
-  /// contents of `*zs` (in-place layer chaining) — inputs are only released
-  /// after every item finished. Profiles accumulate in batch order, so the
-  /// metered result is deterministic. Returns the first item error, if any.
+  /// Batched entry point for serving many independent feature matrices; see
+  /// Session::MultiplyBatch for the full contract (scratch results, aliasing
+  /// with *zs allowed, profiles accumulate in batch order, empty batch is an
+  /// OK no-op, first item error wins).
   Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                        std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
 
   /// One-time preprocessing time in ns (plan building for hcspmm,
   /// format conversion for tensor baselines, zero for CUDA kernels).
   /// A PlanCache hit reports 0: nothing was rebuilt.
-  double PreprocessNs() const { return preprocess_ns_; }
+  double PreprocessNs() const { return session_->PreprocessNs(); }
 
   /// True when the hybrid plan came out of the process-wide PlanCache.
-  bool plan_from_cache() const { return plan_from_cache_; }
+  bool plan_from_cache() const { return session_->plan_from_cache(); }
 
   /// Framework-specific auxiliary GPU memory (Table XII differences).
-  int64_t AuxMemoryBytes() const { return aux_bytes_; }
+  int64_t AuxMemoryBytes() const { return session_->AuxMemoryBytes(); }
 
-  const std::string& kernel_name() const { return kernel_name_; }
-  const DeviceSpec& device() const { return dev_; }
-  DataType dtype() const { return dtype_; }
-  int num_threads() const { return num_threads_; }
-  const CsrMatrix& abar() const { return *abar_; }
+  const std::string& kernel_name() const { return session_->kernel_name(); }
+  const DeviceSpec& device() const { return session_->device(); }
+  DataType dtype() const { return session_->dtype(); }
+  int num_threads() const { return session_->num_threads(); }
+  const CsrMatrix& abar() const { return session_->abar(); }
 
   /// Hybrid plan (populated only for "hcspmm").
-  const HybridPlan* plan() const { return plan_.get(); }
+  const HybridPlan* plan() const { return session_->plan(); }
+
+  /// The underlying async session (for incremental migration: models accept
+  /// either an engine or a session).
+  Session* session() const { return session_.get(); }
 
  private:
-  Status MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
-                             KernelProfile* profile, int num_threads) const;
-
-  std::string kernel_name_;
-  const CsrMatrix* abar_;
-  DeviceSpec dev_;
-  DataType dtype_;
-  int num_threads_ = 0;
-  std::unique_ptr<SpmmKernel> kernel_;
-  std::shared_ptr<const HybridPlan> plan_;
-  bool plan_from_cache_ = false;
-  double preprocess_ns_ = 0.0;
-  int64_t aux_bytes_ = 0;
+  std::shared_ptr<Session> session_;
   Status status_;
 };
 

@@ -29,7 +29,10 @@ struct TrainStats {
 
 /// Train `epochs` epochs of `kind` on `graph` using the named SpMM kernel.
 /// The sparse operator (GCN-normalized adjacency or GIN operator) is built
-/// internally; `config.fuse_kernels` toggles SS V-A fusion.
+/// internally and bound through a Session on Runtime::Default(), so plan
+/// building overlaps model initialization and — when
+/// `config.async_pipeline` — backward aggregations overlap the deferred
+/// weight-gradient GEMMs. `config.fuse_kernels` toggles SS V-A fusion.
 TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
                     const std::string& kernel_name, const GnnConfig& config,
                     const DeviceSpec& dev, int32_t epochs,
@@ -38,7 +41,7 @@ TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
 /// Estimated training-time GPU memory: graph + operator + activations +
 /// parameters + kernel-specific auxiliary structures (Table XII).
 int64_t EstimateTrainingMemoryBytes(const Graph& graph, const CsrMatrix& abar,
-                                    const SpmmEngine& engine,
+                                    const Session& session,
                                     int64_t activation_bytes,
                                     int64_t parameter_bytes);
 

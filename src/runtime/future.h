@@ -1,0 +1,218 @@
+// Future/Promise primitives for the async runtime API. A Future<T> resolves
+// to a value *or* a Status (never both, matching Result<T>); consumers can
+// block (Wait/Get/Take), poll (ready), or chain work onto fulfillment
+// (Then/OnReady). Continuations registered before fulfillment run on the
+// fulfilling thread; ones registered after run inline — so a continuation
+// must be cheap and must never block on other pool work.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+template <typename T>
+class Future;
+template <typename T>
+class Promise;
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Status status;           // error iff !status.ok() (value is then absent)
+  std::optional<T> value;  // engaged iff ready && status.ok()
+  std::vector<std::function<void()>> on_ready;
+};
+
+template <typename T>
+void FulfillState(const std::shared_ptr<FutureState<T>>& state, Status status,
+                  std::optional<T> value) {
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    HCSPMM_CHECK(!state->ready) << "promise fulfilled twice";
+    state->status = std::move(status);
+    state->value = std::move(value);
+    state->ready = true;
+    callbacks.swap(state->on_ready);
+    state->cv.notify_all();
+  }
+  for (auto& cb : callbacks) cb();  // outside the lock: callbacks may chain
+}
+
+// Maps a continuation's return type to the chained future's value type:
+// `Result<U>` unwraps to U, anything else is taken verbatim.
+template <typename R>
+struct ChainedValue {
+  using type = R;
+};
+template <typename U>
+struct ChainedValue<Result<U>> {
+  using type = U;
+};
+
+}  // namespace internal
+
+/// \brief Handle to an eventually-available value-or-Status.
+///
+/// Copyable (copies share the state). A default-constructed Future is
+/// invalid; every accessor below requires valid().
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking: has the future been fulfilled yet?
+  bool ready() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->ready;
+  }
+
+  /// Block until fulfilled.
+  void Wait() const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [this] { return state_->ready; });
+  }
+
+  /// Block until fulfilled, then return the outcome Status.
+  const Status& status() const {
+    Wait();
+    return state_->status;  // immutable once ready
+  }
+
+  bool ok() const { return status().ok(); }
+
+  /// Block until fulfilled and return the value. Precondition: ok() — an
+  /// error future aborts with the status message (use status() to handle
+  /// errors gracefully).
+  const T& Get() const {
+    Wait();
+    HCSPMM_CHECK(state_->status.ok()) << "Future::Get on error: "
+                                      << state_->status.ToString();
+    return *state_->value;
+  }
+
+  /// Like Get(), but moves the value out (the future stays ready; a second
+  /// Take/Get observes the moved-from value).
+  T Take() {
+    Wait();
+    HCSPMM_CHECK(state_->status.ok()) << "Future::Take on error: "
+                                      << state_->status.ToString();
+    return std::move(*state_->value);
+  }
+
+  /// Run `cb` once fulfilled — inline if already ready, else on the
+  /// fulfilling thread. `cb` observes the state through this future.
+  void OnReady(std::function<void()> cb) const {
+    {
+      std::lock_guard<std::mutex> lk(state_->mu);
+      if (!state_->ready) {
+        state_->on_ready.push_back(std::move(cb));
+        return;
+      }
+    }
+    cb();
+  }
+
+  /// Chain a continuation: `fn(const T&)` runs iff this future succeeds, and
+  /// its return (U or Result<U>) fulfills the returned Future<U>. An error
+  /// short-circuits: `fn` is never invoked and the error Status propagates
+  /// unchanged through the whole chain.
+  template <typename F>
+  auto Then(F fn) const
+      -> Future<typename internal::ChainedValue<std::invoke_result_t<F, const T&>>::type> {
+    using R = std::invoke_result_t<F, const T&>;
+    using U = typename internal::ChainedValue<R>::type;
+    auto next = std::make_shared<internal::FutureState<U>>();
+    auto state = state_;
+    OnReady([state, next, fn = std::move(fn)]() mutable {
+      if (!state->status.ok()) {
+        internal::FulfillState<U>(next, state->status, std::nullopt);
+        return;
+      }
+      if constexpr (std::is_same_v<R, Result<U>>) {
+        R r = fn(*state->value);
+        if (r.ok()) {
+          internal::FulfillState<U>(next, Status::OK(), std::move(r.ValueOrDie()));
+        } else {
+          internal::FulfillState<U>(next, r.status(), std::nullopt);
+        }
+      } else {
+        internal::FulfillState<U>(next, Status::OK(), fn(*state->value));
+      }
+    });
+    return Future<U>(next);
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+  template <typename U>
+  friend class Future;
+  template <typename U>
+  friend Future<U> MakeReadyFuture(U value);
+  template <typename U>
+  friend Future<U> MakeErrorFuture(Status status);
+
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// \brief Producer side of a Future. Copies share the state; exactly one
+/// Set call is allowed across all copies.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  void Set(T value) {
+    internal::FulfillState<T>(state_, Status::OK(), std::move(value));
+  }
+
+  void Set(Status error) {
+    HCSPMM_CHECK(!error.ok()) << "Promise::Set(Status) requires an error";
+    internal::FulfillState<T>(state_, std::move(error), std::nullopt);
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// An already-fulfilled success future (no synchronization cost to consume).
+template <typename T>
+Future<T> MakeReadyFuture(T value) {
+  auto state = std::make_shared<internal::FutureState<T>>();
+  state->ready = true;
+  state->value = std::move(value);
+  return Future<T>(std::move(state));
+}
+
+/// An already-fulfilled error future.
+template <typename T>
+Future<T> MakeErrorFuture(Status status) {
+  auto state = std::make_shared<internal::FutureState<T>>();
+  state->ready = true;
+  state->status = std::move(status);
+  return Future<T>(std::move(state));
+}
+
+}  // namespace hcspmm

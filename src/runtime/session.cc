@@ -1,0 +1,270 @@
+#include "runtime/session.h"
+
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "util/string_util.h"
+
+namespace hcspmm {
+
+Session::Session(const CsrMatrix* abar, SessionOptions options, ThreadPool* pool,
+                 PlanCache* cache)
+    : abar_(abar), options_(std::move(options)), pool_(pool), cache_(cache) {
+  const int n = std::max(1, options_.num_streams());
+  streams_.reserve(n);
+  for (int i = 0; i < n; ++i) streams_.push_back(std::make_unique<Stream>());
+  init_ = init_promise_.future();
+}
+
+void Session::StartInit() {
+  // Validate the kernel name synchronously: it is cheap, and an immediate
+  // error future lets OpenSession callers fail fast without a pool round
+  // trip.
+  kernel_ = MakeKernel(options_.kernel_name());
+  if (kernel_ == nullptr) {
+    init_promise_.Set(Status::InvalidArgument(
+        "unknown kernel '" + options_.kernel_name() +
+        "'; registered kernels: " + Join(RegisteredKernelNames(), ", ")));
+    return;
+  }
+  // Preprocessing overlaps whatever the caller does next (model setup, more
+  // OpenSession calls); the task holds the session alive.
+  auto self = shared_from_this();
+  pool_->Submit([self] {
+    Status st = self->Initialize();
+    if (st.ok()) {
+      self->init_promise_.Set(true);
+    } else {
+      self->init_promise_.Set(std::move(st));
+    }
+  });
+}
+
+Status Session::Initialize() {
+  // Resolve the hybrid plan first: on a PlanCache hit the preprocessing cost
+  // vanishes and the cached windowing doubles as the aux-memory statistics
+  // source, so nothing is recomputed.
+  const WindowedCsr* windows = nullptr;
+  WindowedCsr local_windows;
+  if (options_.kernel_name() == "hcspmm") {
+    const PlanCacheKey key =
+        MakePlanCacheKey(*abar_, options_.device(), options_.dtype());
+    plan_ = cache_->Lookup(key);
+    if (plan_ != nullptr) {
+      plan_from_cache_ = true;
+      preprocess_ns_ = 0.0;
+    } else {
+      auto plan = Preprocess(*abar_, options_.device(),
+                             DefaultSelectorModelFor(options_.device().name));
+      HCSPMM_RETURN_NOT_OK(plan.status());
+      preprocess_ns_ = plan.ValueOrDie().preprocess_profile.TotalNs();
+      // Detach the plan from this particular matrix object before sharing:
+      // the cache (and any session hitting it) may outlive `abar`, and
+      // RunWithPlan validates plans structurally.
+      plan.ValueOrDie().windows.csr = nullptr;
+      auto shared = std::make_shared<const HybridPlan>(std::move(plan.ValueOrDie()));
+      cache_->Insert(key, shared);
+      plan_ = std::move(shared);
+    }
+    windows = &plan_->windows;
+  } else {
+    local_windows = BuildWindows(*abar_);
+    windows = &local_windows;
+  }
+
+  // Shared window statistics used by the aux-memory model.
+  int64_t total_unique_cols = 0;
+  for (const RowWindow& w : windows->windows) total_unique_cols += w.NumCols();
+  const int64_t condensed_bytes = total_unique_cols * 4;
+  const int64_t num_windows = static_cast<int64_t>(windows->windows.size());
+
+  const std::string& name = options_.kernel_name();
+  if (name == "hcspmm") {
+    // CSR (for CUDA windows) + condensed metadata (for Tensor windows) +
+    // the per-window boolean core array: the "additional data structure"
+    // behind Table XII's +2% / +6%.
+    aux_bytes_ = condensed_bytes + num_windows * (16 + 1) + abar_->nnz() * 3;
+  } else if (name == "tcgnn") {
+    preprocess_ns_ = TcGnnLikeSpmm::PreprocessNs(*abar_);
+    aux_bytes_ = condensed_bytes;  // condensed format replaces workspace
+  } else if (name == "dtcspmm") {
+    preprocess_ns_ = DtcSpmmLikeSpmm::PreprocessNs(*abar_, options_.device());
+    aux_bytes_ = condensed_bytes + num_windows * 8;
+  } else if (name == "gespmm" || name == "sputnik" || name == "cusparse") {
+    aux_bytes_ = abar_->nnz() * 3;  // row-splitting / balancing workspace
+  }
+  return Status::OK();
+}
+
+double Session::PreprocessNs() const {
+  init_.Wait();
+  return preprocess_ns_;
+}
+
+bool Session::plan_from_cache() const {
+  init_.Wait();
+  return plan_from_cache_;
+}
+
+int64_t Session::AuxMemoryBytes() const {
+  init_.Wait();
+  return aux_bytes_;
+}
+
+const HybridPlan* Session::plan() const {
+  init_.Wait();
+  return plan_.get();
+}
+
+Status Session::MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
+                                    KernelProfile* profile, int num_threads) const {
+  KernelProfile local;
+  KernelOptions opts;
+  opts.dtype = options_.dtype();
+  opts.num_threads = num_threads;
+  Status st;
+  if (plan_ != nullptr) {
+    const auto* hc = static_cast<const HcSpmm*>(kernel_.get());
+    st = hc->RunWithPlan(*plan_, *abar_, x, options_.device(), opts, z, &local);
+  } else {
+    st = kernel_->Run(*abar_, x, options_.device(), opts, z, &local);
+  }
+  if (st.ok() && profile != nullptr) profile->Accumulate(local);
+  return st;
+}
+
+Status Session::Multiply(const DenseMatrix& x, DenseMatrix* z,
+                         KernelProfile* profile) const {
+  HCSPMM_RETURN_NOT_OK(init_.status());
+  return MultiplyWithThreads(x, z, profile, options_.num_threads());
+}
+
+void Session::Enqueue(int stream, std::function<void()> task) {
+  Stream& s = *streams_[static_cast<size_t>(stream) % streams_.size()];
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.tasks.push_back(std::move(task));
+    if (s.running) return;  // the active pump will reach it (FIFO)
+    s.running = true;
+  }
+  // Gate the pump on preprocessing: stream tasks assume the plan exists.
+  // Inline when init already resolved; otherwise the init task submits it.
+  auto self = shared_from_this();
+  init_.OnReady([self, &s] { self->pool_->Submit([self, &s] { self->Pump(&s); }); });
+}
+
+void Session::Pump(Stream* s) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(s->mu);
+      if (s->tasks.empty()) {
+        s->running = false;
+        return;
+      }
+      task = std::move(s->tasks.front());
+      s->tasks.pop_front();
+    }
+    task();
+  }
+}
+
+Future<DenseMatrix> Session::MultiplyAsync(DenseMatrix x, KernelProfile* profile,
+                                           int stream) {
+  Promise<DenseMatrix> promise;
+  auto self = shared_from_this();
+  Enqueue(stream, [self, x = std::move(x), profile, promise]() mutable {
+    if (!self->init_.status().ok()) {  // resolved: pumps are init-gated
+      promise.Set(self->init_.status());
+      return;
+    }
+    DenseMatrix z;
+    Status st = self->MultiplyWithThreads(x, &z, profile, self->num_threads());
+    if (st.ok()) {
+      promise.Set(std::move(z));
+    } else {
+      promise.Set(std::move(st));
+    }
+  });
+  return promise.future();
+}
+
+Status Session::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                              std::vector<DenseMatrix>* zs,
+                              KernelProfile* profile) const {
+  HCSPMM_RETURN_NOT_OK(init_.status());
+  if (zs == nullptr) return Status::InvalidArgument("MultiplyBatch: zs is null");
+  for (const DenseMatrix* x : xs) {
+    if (x == nullptr) return Status::InvalidArgument("MultiplyBatch: null input");
+  }
+  if (xs.empty()) {  // fast path: no scratch, no pool dispatch
+    zs->clear();
+    return Status::OK();
+  }
+
+  // Results go into a scratch vector first so callers may alias *zs with the
+  // inputs (in-place layer chaining): nothing xs points at is touched until
+  // every item finished computing.
+  std::vector<DenseMatrix> results(xs.size());
+  std::vector<KernelProfile> profiles(xs.size());
+  std::vector<Status> statuses(xs.size());
+  const int threads = ResolveNumThreads(options_.num_threads());
+  if (static_cast<int64_t>(xs.size()) >= threads) {
+    // Wide batch: batch-level parallelism saturates the pool; items stay
+    // serial inside their task (nested ParallelFor would run inline anyway).
+    ParallelFor(0, static_cast<int64_t>(xs.size()), options_.num_threads(),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    statuses[i] = MultiplyWithThreads(*xs[i], &results[i],
+                                                      &profiles[i],
+                                                      /*num_threads=*/1);
+                  }
+                });
+  } else {
+    // Narrow batch: item-level parallelism would idle most of the pool, so
+    // run items sequentially with full row-level parallelism each.
+    for (size_t i = 0; i < xs.size(); ++i) {
+      statuses[i] = MultiplyWithThreads(*xs[i], &results[i], &profiles[i],
+                                        options_.num_threads());
+    }
+  }
+  // Fail without touching the caller's profile: a partial accumulation would
+  // double-count the successful items when the batch is retried.
+  for (const Status& st : statuses) HCSPMM_RETURN_NOT_OK(st);
+  if (profile != nullptr) {
+    for (const KernelProfile& p : profiles) profile->Accumulate(p);  // batch order
+  }
+  *zs = std::move(results);
+  return Status::OK();
+}
+
+Future<std::vector<DenseMatrix>> Session::MultiplyBatchAsync(
+    std::vector<DenseMatrix> xs, KernelProfile* profile, int stream) {
+  if (xs.empty()) {
+    // Fast path: no stream task, no pool dispatch — chained on init only so
+    // a broken session stays observable (an init error propagates, matching
+    // the synchronous path). Resolves inline once preprocessing is done.
+    return init_.Then([](const bool&) { return std::vector<DenseMatrix>(); });
+  }
+  Promise<std::vector<DenseMatrix>> promise;
+  auto self = shared_from_this();
+  Enqueue(stream, [self, xs = std::move(xs), profile, promise]() mutable {
+    if (!self->init_.status().ok()) {
+      promise.Set(self->init_.status());
+      return;
+    }
+    std::vector<const DenseMatrix*> ptrs;
+    ptrs.reserve(xs.size());
+    for (const DenseMatrix& x : xs) ptrs.push_back(&x);
+    std::vector<DenseMatrix> zs;
+    Status st = self->MultiplyBatch(ptrs, &zs, profile);
+    if (st.ok()) {
+      promise.Set(std::move(zs));
+    } else {
+      promise.Set(std::move(st));
+    }
+  });
+  return promise.future();
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,179 @@
+// Session: one SpMM kernel bound to one sparse operator, with asynchronous,
+// stream-ordered submission. This is the engine layer the rest of the
+// library builds on — SpmmEngine is a thin synchronous adapter over it.
+//
+// Opening a session returns immediately: preprocessing (plan building /
+// fingerprint lookup for "hcspmm", window construction for the baselines)
+// runs on the runtime's pool, and the first operation — or WaitReady() —
+// waits on it. Work submitted to the same stream executes FIFO; distinct
+// streams run concurrently. Results and metered profiles are bit-identical
+// to the synchronous path: the functional kernels are deterministic for any
+// thread count and metering is simulated, so only wall-clock changes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_spmm.h"
+#include "exec/plan_cache.h"
+#include "exec/thread_pool.h"
+#include "kernels/spmm_kernel.h"
+#include "runtime/future.h"
+
+namespace hcspmm {
+
+/// Builder-style configuration for Runtime::OpenSession.
+class SessionOptions {
+ public:
+  SessionOptions& set_kernel(std::string name) {
+    kernel_name_ = std::move(name);
+    return *this;
+  }
+  SessionOptions& set_device(DeviceSpec dev) {
+    device_ = std::move(dev);
+    return *this;
+  }
+  SessionOptions& set_dtype(DataType dtype) {
+    dtype_ = dtype;
+    return *this;
+  }
+  /// Seeds KernelOptions::num_threads for every multiply (<= 0 => hardware
+  /// concurrency, 1 => serial).
+  SessionOptions& set_num_threads(int n) {
+    num_threads_ = n;
+    return *this;
+  }
+  /// Number of independent FIFO streams (clamped to >= 1).
+  SessionOptions& set_num_streams(int n) {
+    num_streams_ = n;
+    return *this;
+  }
+
+  const std::string& kernel_name() const { return kernel_name_; }
+  const DeviceSpec& device() const { return device_; }
+  DataType dtype() const { return dtype_; }
+  int num_threads() const { return num_threads_; }
+  int num_streams() const { return num_streams_; }
+
+ private:
+  std::string kernel_name_ = "hcspmm";
+  DeviceSpec device_ = Rtx3090();
+  DataType dtype_ = DataType::kTf32;
+  int num_threads_ = 0;
+  int num_streams_ = 2;
+};
+
+class Runtime;
+
+/// \brief An async SpMM engine: kernel + operator + plan + FIFO streams.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Block until preprocessing finished; returns its outcome (also the
+  /// "unknown kernel" diagnostic). Every other accessor below that depends
+  /// on the plan waits internally, so calling this first is optional.
+  Status WaitReady() const { return init_.status(); }
+
+  /// Non-blocking: has preprocessing completed (successfully or not)?
+  bool initialized() const { return init_.ready(); }
+
+  /// z = Abar * x, synchronously on the calling thread with full row-level
+  /// parallelism. Appends to `profile` if non-null.
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
+
+  /// Submit z = Abar * x to `stream` and return a Future resolving to z (or
+  /// the error Status). FIFO within a stream; concurrent across streams.
+  /// If non-null, `profile` accumulates the multiply's metered cost before
+  /// the future resolves — give each concurrent stream its own profile.
+  Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
+                                    int stream = 0);
+
+  /// Batched synchronous entry point (semantics of SpmmEngine::MultiplyBatch:
+  /// scratch results, aliasing-safe, profiles in batch order, first error
+  /// wins). An empty batch returns OK without touching the pool.
+  Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+
+  /// Async batch over owned inputs. An empty batch resolves immediately
+  /// (already-ready future, no pool dispatch).
+  Future<std::vector<DenseMatrix>> MultiplyBatchAsync(std::vector<DenseMatrix> xs,
+                                                      KernelProfile* profile = nullptr,
+                                                      int stream = 0);
+
+  /// One-time preprocessing time in ns (0 on a PlanCache hit). Waits for
+  /// preprocessing to finish.
+  double PreprocessNs() const;
+
+  /// True when the hybrid plan came out of the runtime's PlanCache (waits).
+  bool plan_from_cache() const;
+
+  /// Framework-specific auxiliary memory, Table XII (waits).
+  int64_t AuxMemoryBytes() const;
+
+  /// Hybrid plan — populated only for "hcspmm" (waits).
+  const HybridPlan* plan() const;
+
+  const std::string& kernel_name() const { return options_.kernel_name(); }
+  const DeviceSpec& device() const { return options_.device(); }
+  DataType dtype() const { return options_.dtype(); }
+  int num_threads() const { return options_.num_threads(); }
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  const CsrMatrix& abar() const { return *abar_; }
+
+ private:
+  friend class Runtime;
+
+  // One FIFO lane: queued tasks drain one at a time on the pool, so a task
+  // only starts after every earlier task on the same stream finished.
+  struct Stream {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+    bool running = false;
+  };
+
+  Session(const CsrMatrix* abar, SessionOptions options, ThreadPool* pool,
+          PlanCache* cache);
+
+  /// Kick preprocessing onto the pool (or resolve init_ immediately on a
+  /// sync validation error). Called once by Runtime::OpenSession after the
+  /// shared_ptr exists (the task keeps the session alive).
+  void StartInit();
+
+  /// Preprocessing body: plan lookup/build + window statistics.
+  Status Initialize();
+
+  /// Enqueue onto a stream; pumps are gated on init_ so no task ever runs
+  /// before (or without) a successful plan. `task` must not block on other
+  /// pool work.
+  void Enqueue(int stream, std::function<void()> task);
+  void Pump(Stream* s);
+
+  /// Multiply assuming init completed OK (no waiting).
+  Status MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
+                             KernelProfile* profile, int num_threads) const;
+
+  const CsrMatrix* abar_;
+  SessionOptions options_;
+  ThreadPool* pool_;
+  PlanCache* cache_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+
+  // Written by Initialize() before init_ resolves; read-only afterwards
+  // (the future's mutex orders the hand-off).
+  std::unique_ptr<SpmmKernel> kernel_;
+  std::shared_ptr<const HybridPlan> plan_;
+  bool plan_from_cache_ = false;
+  double preprocess_ns_ = 0.0;
+  int64_t aux_bytes_ = 0;
+
+  Promise<bool> init_promise_;
+  Future<bool> init_;  // resolves true on success, error Status on failure
+};
+
+}  // namespace hcspmm
