@@ -3,6 +3,9 @@
 // MultiplyBatch throughput path and the PlanCache construction savings.
 // Unlike the fig*/table* harnesses (simulated GPU time), this measures real
 // host wall-clock, so the numbers depend on the machine's core count.
+// `--json out.json` additionally writes the scaling sweep as a
+// machine-readable artifact (CI uploads it); the exit code is non-zero if
+// any thread count failed bit-identity, so the run doubles as a smoke gate.
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -35,7 +38,8 @@ double TimedMultiplyMs(const SpmmEngine& engine, const DenseMatrix& x, DenseMatr
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonOutputPath(argc, argv);
   PrintTitle("Parallel scaling: hcspmm on RMAT (wall-clock)");
   std::printf("  hardware threads available: %d\n", ThreadPool::HardwareThreads());
 
@@ -60,6 +64,12 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"1", FormatDouble(serial_ms, 2), "1.00", "yes", "0.0e+00"});
+  std::vector<std::string> json_points;
+  json_points.push_back(JsonObject({JsonField("threads", 1), JsonField("ms", serial_ms),
+                                    JsonField("speedup", 1.0),
+                                    JsonField("bit_identical", true),
+                                    JsonField("max_abs_diff", 0.0)}));
+  bool all_identical = true;
   for (int threads : {2, 4, 8}) {
     SpmmEngine engine("hcspmm", &abar, Rtx3090(), DataType::kFp32, threads);
     HCSPMM_CHECK_OK(engine.status());
@@ -67,11 +77,17 @@ int main() {
     DenseMatrix z;
     const double ms = TimedMultiplyMs(engine, x, &z);
     const double max_diff = z.MaxAbsDifference(z_serial);
+    all_identical = all_identical && max_diff == 0.0;
     char diff_buf[32];
     std::snprintf(diff_buf, sizeof(diff_buf), "%.1e", max_diff);
     rows.push_back({std::to_string(threads), FormatDouble(ms, 2),
                     FormatDouble(serial_ms / ms, 2),
                     max_diff == 0.0 ? "yes" : "NO", diff_buf});
+    json_points.push_back(JsonObject(
+        {JsonField("threads", threads), JsonField("ms", ms),
+         JsonField("speedup", serial_ms / ms),
+         JsonField("bit_identical", max_diff == 0.0),
+         JsonField("max_abs_diff", max_diff)}));
   }
   PrintTable({"threads", "ms/multiply", "speedup", "bit-identical", "max|diff|"}, rows);
   PrintNote("speedup is bounded by physical cores; expect ~flat on 1-core machines");
@@ -105,5 +121,16 @@ int main() {
         "(cache hit, simulated preprocess %.3f ms)\n",
         cold_ms, cold.PreprocessNs() / 1e6, warm_ms, warm.PreprocessNs() / 1e6);
   }
-  return 0;
+
+  if (!json_path.empty()) {
+    const std::string report = JsonObject(
+        {JsonField("bench", std::string("parallel_scaling")),
+         JsonField("hardware_threads", ThreadPool::HardwareThreads()),
+         JsonField("rows", static_cast<int64_t>(abar.rows())),
+         JsonField("nnz", abar.nnz()), JsonField("dim", kDim),
+         JsonValue(std::string("points")) + ": " + JsonArray(json_points)});
+    HCSPMM_CHECK(WriteTextFile(json_path, report)) << "cannot write " << json_path;
+    std::printf("\n  wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
 }

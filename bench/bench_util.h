@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,88 @@ inline void PrintTable(const std::vector<std::string>& headers,
     for (size_t c = 0; c < row.size(); ++c) out += PadRight(row[c], widths[c] + 2);
     std::printf("%s\n", out.c_str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: CI runs selected benches with `--json out.json`
+// and uploads the file as a workflow artifact, so the emitters below build
+// JSON by hand (flat values only, no external dependency).
+
+/// Value renderers. Doubles use %.17g so the artifact round-trips the exact
+/// measured bits (CI smoke gates compare them).
+inline std::string JsonValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+inline std::string JsonValue(int64_t v) { return std::to_string(v); }
+inline std::string JsonValue(int v) { return std::to_string(v); }
+inline std::string JsonValue(bool v) { return v ? "true" : "false"; }
+inline std::string JsonValue(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+// Without this overload a string literal would silently pick the bool
+// overload (pointer-to-bool beats the user-defined std::string conversion)
+// and emit `true` instead of the text.
+inline std::string JsonValue(const char* s) { return JsonValue(std::string(s)); }
+
+/// One `"key": value` member from an already-rendered value.
+template <typename T>
+std::string JsonField(const std::string& key, const T& v) {
+  return JsonValue(std::string(key)) + ": " + JsonValue(v);
+}
+
+/// `{...}` / `[...]` from pre-rendered members (raw JSON strings).
+inline std::string JsonObject(const std::vector<std::string>& members) {
+  std::string out = "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += members[i];
+  }
+  return out + "}";
+}
+inline std::string JsonArray(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+/// The value after a `--json` argument, or "" when absent. Exits with a
+/// diagnostic when `--json` is last (missing its path operand).
+inline std::string JsonOutputPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires an output path\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+/// Write `content` (plus a trailing newline) to `path`; false on I/O error.
+inline bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs(content.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
 }
 
 /// Load a paper dataset at bench scale (deterministic).

@@ -102,10 +102,10 @@ std::shared_ptr<const HybridPlan> PlanCache::Lookup(const PlanCacheKey& key) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++counters_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++counters_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->plan;
 }
@@ -124,7 +124,7 @@ void PlanCache::Insert(const PlanCacheKey& key, std::shared_ptr<const HybridPlan
   lru_.push_front(Entry{key, std::move(plan), bytes});
   index_[key] = lru_.begin();
   bytes_in_use_ += bytes;
-  ++counters_.insertions;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
   EvictToBudgetLocked();
 }
 
@@ -134,7 +134,7 @@ void PlanCache::EvictToBudgetLocked() {
     bytes_in_use_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
-    ++counters_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -143,7 +143,10 @@ void PlanCache::Clear() {
   lru_.clear();
   index_.clear();
   bytes_in_use_ = 0;
-  counters_ = PlanCacheStats();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 void PlanCache::SetByteBudget(int64_t byte_budget) {
@@ -158,8 +161,15 @@ int64_t PlanCache::byte_budget() const {
 }
 
 PlanCacheStats PlanCache::stats() const {
+  // Counter loads happen under mu_ so the snapshot is internally consistent
+  // (entries can never exceed insertions); the atomics keep any future
+  // unlocked fast-path reads well-defined.
   std::lock_guard<std::mutex> lk(mu_);
-  PlanCacheStats s = counters_;
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   s.bytes_in_use = bytes_in_use_;
   s.entries = static_cast<int64_t>(lru_.size());
   return s;

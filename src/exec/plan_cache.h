@@ -6,6 +6,7 @@
 // instead of rebuilding it. Entries are LRU-evicted under a byte budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -102,7 +103,14 @@ class PlanCache {
   int64_t bytes_in_use_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<PlanCacheKey, std::list<Entry>::iterator, PlanCacheKeyHash> index_;
-  PlanCacheStats counters_;
+  // Monotonic counters are atomics (relaxed: they are independent tallies,
+  // not synchronization) so stats() stays race-free against concurrent
+  // sessions inserting/looking up — per-shard plan builds made that the
+  // common case, and TSan flags a plain-int read racing the increments.
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> evictions_{0};
 };
 
 /// Configured default byte budget: the HCSPMM_PLAN_CACHE_BYTES environment

@@ -30,6 +30,10 @@ struct GnnConfig {
   /// results and metered profiles are bit-identical either way; only
   /// wall-clock changes.
   bool async_pipeline = true;
+  /// Row-disjoint shards of the sparse operator (TrainGnn opens a
+  /// ShardedSession when > 1). Default 1 is the single-Session path; fp32
+  /// results are bit-identical for every shard count.
+  int num_shards = 1;
 };
 
 /// Loss and per-phase timing of one training epoch.
@@ -44,11 +48,14 @@ struct EpochResult {
 /// \brief Multi-layer GCN with full forward/backward and SGD.
 class GcnModel {
  public:
-  /// `graph` and `session` must outlive the model. The session's sparse
-  /// operator must be GcnNormalized(graph->adjacency).
-  GcnModel(const Graph* graph, const GnnConfig& config, Session* session);
+  /// `graph` and the aggregator's backing Session or ShardedSession must
+  /// outlive the model; the bound sparse operator must be
+  /// GcnNormalized(graph->adjacency). Accepts a Session* or ShardedSession*
+  /// directly (AggregatorRef converts implicitly).
+  GcnModel(const Graph* graph, const GnnConfig& config, AggregatorRef agg);
 
-  /// Back-compat adapter: binds to the engine's underlying session.
+  /// Back-compat adapter: binds to the engine's underlying (possibly
+  /// sharded) session.
   GcnModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine);
 
   /// Forward pass; caches activations for backward. Returns logits.
@@ -70,13 +77,14 @@ class GcnModel {
 
  private:
   /// Aggregate `in`, honoring config_.async_pipeline: either dispatched to
-  /// the session's stream (overlapping the caller's next GEMM) or computed
-  /// inline at the same program point. `profile` must outlive the future.
+  /// the backend's stream(s) (overlapping the caller's next GEMM) or
+  /// computed inline at the same program point. `profile` must outlive the
+  /// future.
   Future<DenseMatrix> Aggregate(DenseMatrix in, KernelProfile* profile);
 
   const Graph* graph_;
   GnnConfig config_;
-  Session* session_;
+  AggregatorRef agg_;
   std::vector<DenseMatrix> weights_;
   std::unique_ptr<Optimizer> optimizer_;
   Pcg32 dropout_rng_{0xd509};

@@ -12,10 +12,13 @@ namespace hcspmm {
 /// \brief Multi-layer GIN with full forward/backward and SGD.
 class GinModel {
  public:
-  /// The session's sparse operator must be GinOperator(graph->adjacency).
-  GinModel(const Graph* graph, const GnnConfig& config, Session* session);
+  /// The bound sparse operator must be GinOperator(graph->adjacency).
+  /// Accepts a Session* or ShardedSession* (AggregatorRef converts
+  /// implicitly).
+  GinModel(const Graph* graph, const GnnConfig& config, AggregatorRef agg);
 
-  /// Back-compat adapter: binds to the engine's underlying session.
+  /// Back-compat adapter: binds to the engine's underlying (possibly
+  /// sharded) session.
   GinModel(const Graph* graph, const GnnConfig& config, SpmmEngine* engine);
 
   DenseMatrix Forward(PhaseBreakdown* times);
@@ -34,7 +37,7 @@ class GinModel {
 
   const Graph* graph_;
   GnnConfig config_;
-  Session* session_;
+  AggregatorRef agg_;
   std::vector<DenseMatrix> w1_, w2_;  // per-layer MLP weights
   // Caches from the last Forward.
   std::vector<DenseMatrix> inputs_;      // X_l

@@ -7,24 +7,34 @@
 namespace hcspmm {
 
 SpmmEngine::SpmmEngine(std::string kernel_name, const CsrMatrix* abar,
-                       const DeviceSpec& dev, DataType dtype, int num_threads) {
-  session_ = Runtime::Default()->OpenSession(abar, SessionOptions()
-                                                       .set_kernel(std::move(kernel_name))
-                                                       .set_device(dev)
-                                                       .set_dtype(dtype)
-                                                       .set_num_threads(num_threads));
-  status_ = session_->WaitReady();  // synchronous construction contract
+                       const DeviceSpec& dev, DataType dtype, int num_threads,
+                       int num_shards)
+    : abar_(abar) {
+  const SessionOptions options = SessionOptions()
+                                     .set_kernel(std::move(kernel_name))
+                                     .set_device(dev)
+                                     .set_dtype(dtype)
+                                     .set_num_threads(num_threads);
+  if (num_shards > 1) {
+    ShardingOptions sharding;
+    sharding.num_shards = num_shards;
+    sharded_ = ShardedSession::Open(Runtime::Default(), *abar, options, sharding);
+    status_ = sharded_->WaitReady();  // synchronous construction contract
+  } else {
+    session_ = Runtime::Default()->OpenSession(abar, options);
+    status_ = session_->WaitReady();
+  }
 }
 
 Status SpmmEngine::Multiply(const DenseMatrix& x, DenseMatrix* z,
                             KernelProfile* profile) const {
-  return session_->Multiply(x, z, profile);
+  return agg().Multiply(x, z, profile);
 }
 
 Status SpmmEngine::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                                  std::vector<DenseMatrix>* zs,
                                  KernelProfile* profile) const {
-  return session_->MultiplyBatch(xs, zs, profile);
+  return agg().MultiplyBatch(xs, zs, profile);
 }
 
 }  // namespace hcspmm

@@ -12,6 +12,7 @@
 #include "core/hybrid_spmm.h"
 #include "kernels/spmm_kernel.h"
 #include "runtime/session.h"
+#include "shard/sharded_session.h"
 
 namespace hcspmm {
 
@@ -42,8 +43,12 @@ class SpmmEngine {
   /// unknown name is surfaced through status() (and every Multiply call)
   /// instead of crashing. `num_threads` seeds KernelOptions::num_threads for
   /// all multiplies (<= 0 => hardware concurrency, 1 => serial).
+  /// `num_shards` > 1 splits `abar` into that many row-disjoint shards (see
+  /// ShardedSession), each with its own plan and PlanCache entry; the
+  /// default 1 is today's single-Session path and fp32 results are
+  /// bit-identical for every shard count.
   SpmmEngine(std::string kernel_name, const CsrMatrix* abar, const DeviceSpec& dev,
-             DataType dtype, int num_threads = 0);
+             DataType dtype, int num_threads = 0, int num_shards = 1);
 
   /// Construction outcome: OK, or InvalidArgument naming the unknown kernel
   /// and listing the registered ones.
@@ -60,31 +65,49 @@ class SpmmEngine {
                        std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
 
   /// One-time preprocessing time in ns (plan building for hcspmm,
-  /// format conversion for tensor baselines, zero for CUDA kernels).
-  /// A PlanCache hit reports 0: nothing was rebuilt.
-  double PreprocessNs() const { return session_->PreprocessNs(); }
+  /// format conversion for tensor baselines, zero for CUDA kernels; summed
+  /// over shards when sharded). A PlanCache hit reports 0: nothing was
+  /// rebuilt.
+  double PreprocessNs() const { return agg().PreprocessNs(); }
 
-  /// True when the hybrid plan came out of the process-wide PlanCache.
-  bool plan_from_cache() const { return session_->plan_from_cache(); }
+  /// True when the hybrid plan came out of the process-wide PlanCache
+  /// (sharded: true only if every shard's plan did).
+  bool plan_from_cache() const { return agg().plan_from_cache(); }
 
-  /// Framework-specific auxiliary GPU memory (Table XII differences).
-  int64_t AuxMemoryBytes() const { return session_->AuxMemoryBytes(); }
+  /// Framework-specific auxiliary GPU memory (Table XII differences; summed
+  /// over shards when sharded).
+  int64_t AuxMemoryBytes() const { return agg().AuxMemoryBytes(); }
 
-  const std::string& kernel_name() const { return session_->kernel_name(); }
-  const DeviceSpec& device() const { return session_->device(); }
-  DataType dtype() const { return session_->dtype(); }
-  int num_threads() const { return session_->num_threads(); }
-  const CsrMatrix& abar() const { return session_->abar(); }
+  const std::string& kernel_name() const { return agg().kernel_name(); }
+  const DeviceSpec& device() const { return agg().device(); }
+  DataType dtype() const { return agg().dtype(); }
+  int num_threads() const { return agg().num_threads(); }
+  const CsrMatrix& abar() const { return *abar_; }
+  int num_shards() const { return sharded_ != nullptr ? sharded_->num_shards() : 1; }
 
-  /// Hybrid plan (populated only for "hcspmm").
-  const HybridPlan* plan() const { return session_->plan(); }
+  /// Hybrid plan (populated only for "hcspmm"; sharded engines expose shard
+  /// 0's plan — use sharded_session() for the rest).
+  const HybridPlan* plan() const {
+    return session_ != nullptr ? session_->plan() : sharded_->shard_session(0)->plan();
+  }
 
-  /// The underlying async session (for incremental migration: models accept
-  /// either an engine or a session).
+  /// The underlying async session; null when the engine is sharded (use
+  /// sharded_session() / agg() instead).
   Session* session() const { return session_.get(); }
 
+  /// The underlying sharded session; null for num_shards == 1.
+  ShardedSession* sharded_session() const { return sharded_.get(); }
+
+  /// Whichever backend this engine wraps, as the handle models accept.
+  AggregatorRef agg() const {
+    return session_ != nullptr ? AggregatorRef(session_.get())
+                               : AggregatorRef(sharded_.get());
+  }
+
  private:
-  std::shared_ptr<Session> session_;
+  const CsrMatrix* abar_ = nullptr;
+  std::shared_ptr<Session> session_;          // num_shards == 1
+  std::shared_ptr<ShardedSession> sharded_;   // num_shards > 1
   Status status_;
 };
 

@@ -28,24 +28,35 @@ TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
   const CsrMatrix abar = (kind == GnnModelKind::kGcn)
                              ? GcnNormalized(graph.adjacency)
                              : GinOperator(graph.adjacency);
-  // OpenSession returns immediately: plan building / fingerprinting runs on
-  // the runtime pool and overlaps the model's weight initialization below;
-  // the first epoch's first multiply waits on it.
-  std::shared_ptr<Session> session = Runtime::Default()->OpenSession(
-      &abar, SessionOptions().set_kernel(kernel_name).set_device(dev).set_dtype(dtype));
+  // Opening returns immediately: plan building / fingerprinting (for every
+  // shard, when sharded) runs on the runtime pool and overlaps the model's
+  // weight initialization below; the first epoch's first multiply waits.
+  const SessionOptions options =
+      SessionOptions().set_kernel(kernel_name).set_device(dev).set_dtype(dtype);
+  std::shared_ptr<Session> session;
+  std::shared_ptr<ShardedSession> sharded;
+  if (config.num_shards > 1) {
+    ShardingOptions sharding;
+    sharding.num_shards = config.num_shards;
+    sharded = ShardedSession::Open(Runtime::Default(), abar, options, sharding);
+  } else {
+    session = Runtime::Default()->OpenSession(&abar, options);
+  }
+  const AggregatorRef agg = session != nullptr ? AggregatorRef(session.get())
+                                               : AggregatorRef(sharded.get());
 
   if (kind == GnnModelKind::kGcn) {
-    GcnModel model(&graph, config, session.get());
+    GcnModel model(&graph, config, agg);
     for (int32_t e = 0; e < epochs; ++e) stats.epochs.push_back(model.TrainEpoch());
     stats.memory_bytes = EstimateTrainingMemoryBytes(
-        graph, abar, *session, model.ActivationBytes(), model.ParameterBytes());
+        graph, abar, agg, model.ActivationBytes(), model.ParameterBytes());
   } else {
-    GinModel model(&graph, config, session.get());
+    GinModel model(&graph, config, agg);
     for (int32_t e = 0; e < epochs; ++e) stats.epochs.push_back(model.TrainEpoch());
     stats.memory_bytes = EstimateTrainingMemoryBytes(
-        graph, abar, *session, model.ActivationBytes(), model.ParameterBytes());
+        graph, abar, agg, model.ActivationBytes(), model.ParameterBytes());
   }
-  stats.preprocess_ms = session->PreprocessNs() / 1e6;
+  stats.preprocess_ms = agg.PreprocessNs() / 1e6;
   if (!stats.epochs.empty()) {
     stats.final_loss = stats.epochs.back().loss;
     stats.final_accuracy = stats.epochs.back().accuracy;
@@ -54,8 +65,7 @@ TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
 }
 
 int64_t EstimateTrainingMemoryBytes(const Graph& graph, const CsrMatrix& abar,
-                                    const Session& session,
-                                    int64_t activation_bytes,
+                                    AggregatorRef agg, int64_t activation_bytes,
                                     int64_t parameter_bytes) {
   int64_t bytes = 0;
   bytes += graph.features.MemoryBytes();
@@ -63,7 +73,7 @@ int64_t EstimateTrainingMemoryBytes(const Graph& graph, const CsrMatrix& abar,
   bytes += abar.MemoryBytes();
   bytes += activation_bytes;
   bytes += parameter_bytes;
-  bytes += session.AuxMemoryBytes();
+  bytes += agg.AuxMemoryBytes();
   return bytes;
 }
 

@@ -189,6 +189,24 @@ Future<DenseMatrix> Session::MultiplyAsync(DenseMatrix x, KernelProfile* profile
   return promise.future();
 }
 
+Future<bool> Session::SubmitAsync(std::function<Status()> fn, int stream) {
+  Promise<bool> promise;
+  auto self = shared_from_this();
+  Enqueue(stream, [self, fn = std::move(fn), promise]() mutable {
+    if (!self->init_.status().ok()) {  // resolved: pumps are init-gated
+      promise.Set(self->init_.status());
+      return;
+    }
+    Status st = fn();
+    if (st.ok()) {
+      promise.Set(true);
+    } else {
+      promise.Set(std::move(st));
+    }
+  });
+  return promise.future();
+}
+
 Status Session::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                               std::vector<DenseMatrix>* zs,
                               KernelProfile* profile) const {

@@ -83,6 +83,12 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Non-blocking: has preprocessing completed (successfully or not)?
   bool initialized() const { return init_.ready(); }
 
+  /// The preprocessing future itself (resolves true, or the init error).
+  /// Whoever owns the bound matrix can chain a keepalive on it —
+  /// ShardedSession pins the shard CSRs this way — or poll/wait without
+  /// claiming the session.
+  Future<bool> ready_future() const { return init_; }
+
   /// z = Abar * x, synchronously on the calling thread with full row-level
   /// parallelism. Appends to `profile` if non-null.
   Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
@@ -105,6 +111,16 @@ class Session : public std::enable_shared_from_this<Session> {
   Future<std::vector<DenseMatrix>> MultiplyBatchAsync(std::vector<DenseMatrix> xs,
                                                       KernelProfile* profile = nullptr,
                                                       int stream = 0);
+
+  /// Submit an arbitrary task to `stream`, FIFO-ordered with the multiplies
+  /// there; the future resolves to true (or `fn`'s error, or the init error
+  /// without invoking `fn`). Everything captured by `fn` must stay alive
+  /// until the future resolves, and `fn` must not block on other pool work
+  /// (calling this session's synchronous entry points is fine — init has
+  /// already resolved by the time a stream task runs). ShardedSession uses
+  /// this to run per-shard multiplies that scatter straight into a shared
+  /// output without copying the input matrix per shard.
+  Future<bool> SubmitAsync(std::function<Status()> fn, int stream = 0);
 
   /// One-time preprocessing time in ns (0 on a PlanCache hit). Waits for
   /// preprocessing to finish.

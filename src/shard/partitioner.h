@@ -1,0 +1,81 @@
+// Row-disjoint CSR partitioning for multi-graph sharding: split one sparse
+// operator into K contiguous row ranges balanced by nnz, each materialized
+// as its own CSR so it gets its own HybridPlan (and its own PlanCache entry)
+// and can run on its own Session. Contiguous ranges make the decomposition
+// merge-free: row r of the product Abar * X is owned by exactly one shard,
+// so shard outputs scatter into disjoint row slices of the final result and
+// no reduction step exists. Per-row fp32 summation order is untouched by
+// the split, so sharded results are bit-identical to the unsharded path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// One shard's row ownership: rows [row_begin, row_end) of the original
+/// matrix (and of the product), carrying `nnz` nonzeros.
+struct ShardRange {
+  int32_t row_begin = 0;
+  int32_t row_end = 0;
+  int64_t nnz = 0;
+
+  int32_t NumRows() const { return row_end - row_begin; }
+};
+
+/// Configuration for GraphPartitioner.
+struct ShardingOptions {
+  /// Requested shard count. Clamped to [1, available split units]: a value
+  /// <= 0 means 1, and K greater than the number of rows (or row windows,
+  /// when aligned) degrades gracefully to one unit per shard.
+  int num_shards = 1;
+  /// Locality-preserving split: snap shard boundaries to multiples of the
+  /// row-window height (kRowWindowHeight) so no window of the unsharded
+  /// plan is cut in half — every shard's windowing (and thus its condensed
+  /// column layout and core routing) tiles exactly like the original
+  /// plan's. Off, boundaries fall on arbitrary rows for the tightest nnz
+  /// balance.
+  bool align_to_windows = true;
+};
+
+/// A partitioned CSR: `shards[i]` is a standalone (ranges[i].NumRows() x
+/// cols) CSR holding exactly the rows of `ranges[i]`, with row_ptr rebased
+/// to 0. The ranges tile [0, rows) in order with no gaps or overlaps.
+struct GraphPartition {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<ShardRange> ranges;
+  std::vector<CsrMatrix> shards;
+
+  int NumShards() const { return static_cast<int>(ranges.size()); }
+};
+
+/// \brief Splits a CSR into K row-disjoint shards balanced by nnz.
+class GraphPartitioner {
+ public:
+  explicit GraphPartitioner(const ShardingOptions& options) : options_(options) {}
+
+  /// Partition `m` into EffectiveShardCount(...) contiguous row ranges whose
+  /// nnz counts are greedily balanced toward nnz/K each, and materialize one
+  /// CSR per range. A 0-row matrix yields a single empty shard.
+  GraphPartition Partition(const CsrMatrix& m) const;
+
+  /// The shard count Partition() will actually produce for a `rows`-row
+  /// matrix: options.num_shards clamped to [1, units] where units is rows
+  /// (or ceil(rows / kRowWindowHeight) when aligning to windows), floored
+  /// at 1 so an empty matrix still yields one (empty) shard.
+  int EffectiveShardCount(int32_t rows) const;
+
+  const ShardingOptions& options() const { return options_; }
+
+ private:
+  ShardingOptions options_;
+};
+
+/// Convenience wrapper: GraphPartitioner(options).Partition(m).
+GraphPartition PartitionCsr(const CsrMatrix& m, const ShardingOptions& options);
+
+}  // namespace hcspmm

@@ -1,0 +1,203 @@
+#include "shard/sharded_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "runtime/runtime.h"
+#include "util/logging.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Copy one shard's computed row slice into its disjoint block of the full
+// output. Both matrices are row-major, so the slice is one contiguous run.
+Status ScatterShard(const DenseMatrix& local, const ShardRange& range,
+                    DenseMatrix* out) {
+  if (local.rows() != range.NumRows() || local.cols() != out->cols()) {
+    return Status::Internal("sharded multiply: shard output shape mismatch");
+  }
+  if (local.rows() == 0) return Status::OK();
+  std::copy(local.data().begin(), local.data().end(),
+            out->MutableRowData(range.row_begin));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::shared_ptr<ShardedSession> ShardedSession::Open(Runtime* runtime,
+                                                     const CsrMatrix& abar,
+                                                     const SessionOptions& options,
+                                                     const ShardingOptions& sharding) {
+  GraphPartition partition = PartitionCsr(abar, sharding);
+  std::shared_ptr<ShardedSession> sharded(
+      new ShardedSession(std::move(partition), options));
+  // The shard CSRs live in sharded->partition_, whose address is stable for
+  // the sessions' lifetime; every OpenSession returns immediately, so the K
+  // plan builds overlap each other on the runtime pool.
+  sharded->sessions_.reserve(sharded->partition_.shards.size());
+  for (const CsrMatrix& shard : sharded->partition_.shards) {
+    sharded->sessions_.push_back(runtime->OpenSession(&shard, options));
+    // Pin this object (and thus the shard CSR the init task is reading)
+    // until that shard's preprocessing resolves: the caller may drop its
+    // handle right after Open without waiting.
+    sharded->sessions_.back()->ready_future().OnReady([sharded] {});
+  }
+  return sharded;
+}
+
+Status ShardedSession::WaitReady() const {
+  Status first = Status::OK();
+  for (const auto& session : sessions_) {
+    Status st = session->WaitReady();
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
+}
+
+double ShardedSession::PreprocessNs() const {
+  double total = 0.0;
+  for (const auto& session : sessions_) total += session->PreprocessNs();
+  return total;
+}
+
+int64_t ShardedSession::AuxMemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& session : sessions_) total += session->AuxMemoryBytes();
+  return total;
+}
+
+Status ShardedSession::Multiply(const DenseMatrix& x, DenseMatrix* z,
+                                KernelProfile* profile) const {
+  if (z == nullptr) return Status::InvalidArgument("sharded Multiply: z is null");
+  if (num_shards() == 1) return sessions_[0]->Multiply(x, z, profile);
+
+  // Fan out: each shard computes its rows on its own session's stream and
+  // scatters them into `out` (disjoint row blocks — no lock, no reduction);
+  // this thread just joins. Per-shard profiles land in indexed slots so the
+  // caller's profile accumulates in deterministic shard order.
+  DenseMatrix out(rows(), x.cols());
+  std::vector<KernelProfile> profs(sessions_.size());
+  std::vector<Future<bool>> futures;
+  futures.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Session* session = sessions_[i].get();
+    const ShardRange& range = partition_.ranges[i];
+    KernelProfile* prof = &profs[i];
+    futures.push_back(session->SubmitAsync(
+        [session, range, &x, &out, prof] {
+          DenseMatrix local;
+          HCSPMM_RETURN_NOT_OK(session->Multiply(x, &local, prof));
+          return ScatterShard(local, range, &out);
+        },
+        /*stream=*/0));
+  }
+  Status first = Status::OK();
+  for (Future<bool>& fut : futures) {
+    const Status& st = fut.status();  // blocks; also covers shard init errors
+    if (!st.ok() && first.ok()) first = st;
+  }
+  HCSPMM_RETURN_NOT_OK(first);
+  if (profile != nullptr) {
+    for (const KernelProfile& p : profs) profile->Accumulate(p);  // shard order
+  }
+  *z = std::move(out);
+  return Status::OK();
+}
+
+Future<DenseMatrix> ShardedSession::MultiplyAsync(DenseMatrix x, KernelProfile* profile,
+                                                  int stream) {
+  if (num_shards() == 1) {
+    Future<DenseMatrix> fut = sessions_[0]->MultiplyAsync(std::move(x), profile, stream);
+    // Same keepalive the K>1 tasks carry: the session's stream task reads
+    // the shard CSR owned by this object, so pin it until the future
+    // resolves even if the caller drops its handle first.
+    fut.OnReady([self = shared_from_this()] {});
+    return fut;
+  }
+
+  // Join state shared by every shard's stream task. The last shard to finish
+  // (counted via the SubmitAsync futures, which resolve even when a shard's
+  // init failed and its task never ran) folds the profiles in shard order
+  // and resolves the promise.
+  struct JoinState {
+    DenseMatrix x;
+    DenseMatrix out;
+    std::vector<KernelProfile> profs;
+    std::atomic<int> remaining;
+    std::mutex mu;
+    Status first_error;
+    KernelProfile* profile;
+    Promise<DenseMatrix> promise;
+  };
+  auto state = std::make_shared<JoinState>();
+  state->x = std::move(x);
+  state->out = DenseMatrix(rows(), state->x.cols());
+  state->profs.resize(sessions_.size());
+  state->remaining.store(num_shards());
+  state->profile = profile;
+
+  // `self` rides in every task: the shard sessions read CSRs owned by this
+  // object, which must outlive any pending shard work even if the caller
+  // drops its handle before the joined future resolves.
+  auto self = shared_from_this();
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Session* session = sessions_[i].get();
+    const ShardRange range = partition_.ranges[i];
+    Future<bool> fut = session->SubmitAsync(
+        [state, self, session, range, i] {
+          DenseMatrix local;
+          HCSPMM_RETURN_NOT_OK(session->Multiply(state->x, &local, &state->profs[i]));
+          return ScatterShard(local, range, &state->out);
+        },
+        stream);
+    fut.OnReady([state, fut] {
+      if (!fut.status().ok()) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (state->first_error.ok()) state->first_error = fut.status();
+      }
+      // acq_rel: the last decrement observes every other shard's writes to
+      // `out` before moving it into the promise.
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+      if (!state->first_error.ok()) {
+        state->promise.Set(state->first_error);
+        return;
+      }
+      if (state->profile != nullptr) {
+        for (const KernelProfile& p : state->profs) state->profile->Accumulate(p);
+      }
+      state->promise.Set(std::move(state->out));
+    });
+  }
+  return state->promise.future();
+}
+
+Status ShardedSession::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                                     std::vector<DenseMatrix>* zs,
+                                     KernelProfile* profile) const {
+  if (zs == nullptr) return Status::InvalidArgument("MultiplyBatch: zs is null");
+  for (const DenseMatrix* x : xs) {
+    if (x == nullptr) return Status::InvalidArgument("MultiplyBatch: null input");
+  }
+  if (xs.empty()) {
+    zs->clear();
+    return Status::OK();
+  }
+  // Items run sequentially, each with full cross-shard parallelism; results
+  // stay in scratch until the whole batch succeeded so *zs may alias xs and
+  // the caller's profile never sees a partial batch.
+  std::vector<DenseMatrix> results(xs.size());
+  std::vector<KernelProfile> profs(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    HCSPMM_RETURN_NOT_OK(Multiply(*xs[i], &results[i], &profs[i]));
+  }
+  if (profile != nullptr) {
+    for (const KernelProfile& p : profs) profile->Accumulate(p);  // batch order
+  }
+  *zs = std::move(results);
+  return Status::OK();
+}
+
+}  // namespace hcspmm

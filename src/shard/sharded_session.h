@@ -1,0 +1,160 @@
+// ShardedSession: one sparse operator split into K row-disjoint shards
+// (GraphPartitioner), each bound to its own Session — so each shard has its
+// own HybridPlan under its own PlanCache fingerprint, per-shard plan
+// building overlaps across the runtime pool, and multiplies fan out across
+// the shards' independent streams. The decomposition is merge-free: shard i
+// owns output rows [ranges[i].row_begin, row_end), and its stream task
+// copies its contiguous row slice into place in the caller's output — so
+// joining is a completion counter, never a reduction over overlapping
+// partials. fp32 results are bit-identical to the unsharded path for every
+// K (per-row summation order is untouched by a row split).
+//
+// The partition owns copies of the shard CSRs, so unlike Session the source
+// matrix only needs to live through Open(), not through the session.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/session.h"
+#include "shard/partitioner.h"
+
+namespace hcspmm {
+
+class Runtime;
+
+/// \brief K row-disjoint Sessions behind one Session-shaped multiply API.
+class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
+ public:
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+
+  /// Partition `abar` and open one Session per shard on `runtime` (every
+  /// shard session gets its own streams, so shard work naturally overlaps).
+  /// Returns immediately like Runtime::OpenSession: per-shard preprocessing
+  /// runs on the pool; errors surface through WaitReady() and every
+  /// operation. `abar` is copied shard-wise and need not outlive the result.
+  static std::shared_ptr<ShardedSession> Open(Runtime* runtime, const CsrMatrix& abar,
+                                              const SessionOptions& options,
+                                              const ShardingOptions& sharding);
+
+  /// Block until every shard finished preprocessing; first error wins.
+  Status WaitReady() const;
+
+  /// z = Abar * x, synchronously: every shard is submitted to its session's
+  /// stream, computes its row slice, and scatters it into *z; the caller
+  /// blocks on the join. Appends to `profile` in shard order if non-null.
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
+
+  /// Async multiply returning a joined future: resolves to the full product
+  /// after the last shard wrote its rows (first shard error wins). Submits
+  /// shard i to stream `stream` of shard i's session, so calls on the same
+  /// `stream` stay FIFO per shard exactly like Session::MultiplyAsync. A
+  /// non-null `profile` accumulates every shard's metered cost in shard
+  /// order before the future resolves and must outlive it.
+  Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
+                                    int stream = 0);
+
+  /// Batched synchronous entry point (contract of Session::MultiplyBatch:
+  /// scratch results so *zs may alias the inputs, profiles accumulate in
+  /// batch order, empty batch is an OK no-op, first item error wins). Items
+  /// run one after another, each with full cross-shard parallelism.
+  Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+
+  int num_shards() const { return partition_.NumShards(); }
+  const GraphPartition& partition() const { return partition_; }
+  const ShardRange& shard_range(int i) const { return partition_.ranges[i]; }
+  Session* shard_session(int i) const { return sessions_[i].get(); }
+
+  /// Summed one-time preprocessing time across shards (each shard reports 0
+  /// on its own PlanCache hit). Waits for every shard.
+  double PreprocessNs() const;
+
+  /// True when shard i's plan came out of the PlanCache (waits).
+  bool plan_from_cache(int i) const { return sessions_[i]->plan_from_cache(); }
+
+  /// True when every shard's plan came out of the PlanCache (waits).
+  bool plan_from_cache() const {
+    for (const auto& session : sessions_) {
+      if (!session->plan_from_cache()) return false;
+    }
+    return true;
+  }
+
+  /// Summed framework-specific auxiliary memory across shards (waits).
+  int64_t AuxMemoryBytes() const;
+
+  int32_t rows() const { return partition_.rows; }
+  int32_t cols() const { return partition_.cols; }
+  const std::string& kernel_name() const { return options_.kernel_name(); }
+  const DeviceSpec& device() const { return options_.device(); }
+  DataType dtype() const { return options_.dtype(); }
+  int num_threads() const { return options_.num_threads(); }
+
+ private:
+  ShardedSession(GraphPartition partition, SessionOptions options)
+      : partition_(std::move(partition)), options_(std::move(options)) {}
+
+  GraphPartition partition_;
+  SessionOptions options_;
+  std::vector<std::shared_ptr<Session>> sessions_;  // one per shard
+};
+
+/// \brief Non-owning handle to either a Session or a ShardedSession
+/// (exactly one non-null) — the aggregation backend the GNN models and the
+/// trainer program against, so a shard count threads through them without
+/// duplicating every call site.
+class AggregatorRef {
+ public:
+  AggregatorRef(Session* session)  // NOLINT: implicit by design
+      : session_(session) {}
+  AggregatorRef(ShardedSession* sharded)  // NOLINT: implicit by design
+      : sharded_(sharded) {}
+
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const {
+    return session_ != nullptr ? session_->Multiply(x, z, profile)
+                               : sharded_->Multiply(x, z, profile);
+  }
+  Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
+                                    int stream = 0) const {
+    return session_ != nullptr ? session_->MultiplyAsync(std::move(x), profile, stream)
+                               : sharded_->MultiplyAsync(std::move(x), profile, stream);
+  }
+  Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const {
+    return session_ != nullptr ? session_->MultiplyBatch(xs, zs, profile)
+                               : sharded_->MultiplyBatch(xs, zs, profile);
+  }
+  double PreprocessNs() const {
+    return session_ != nullptr ? session_->PreprocessNs() : sharded_->PreprocessNs();
+  }
+  bool plan_from_cache() const {
+    return session_ != nullptr ? session_->plan_from_cache()
+                               : sharded_->plan_from_cache();
+  }
+  int64_t AuxMemoryBytes() const {
+    return session_ != nullptr ? session_->AuxMemoryBytes() : sharded_->AuxMemoryBytes();
+  }
+  const std::string& kernel_name() const {
+    return session_ != nullptr ? session_->kernel_name() : sharded_->kernel_name();
+  }
+  const DeviceSpec& device() const {
+    return session_ != nullptr ? session_->device() : sharded_->device();
+  }
+  DataType dtype() const {
+    return session_ != nullptr ? session_->dtype() : sharded_->dtype();
+  }
+  int num_threads() const {
+    return session_ != nullptr ? session_->num_threads() : sharded_->num_threads();
+  }
+
+  Session* session() const { return session_; }
+  ShardedSession* sharded() const { return sharded_; }
+
+ private:
+  Session* session_ = nullptr;
+  ShardedSession* sharded_ = nullptr;
+};
+
+}  // namespace hcspmm

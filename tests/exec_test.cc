@@ -227,6 +227,50 @@ TEST(PlanCacheTest, HitMissAndStats) {
   EXPECT_GT(stats.bytes_in_use, 0);
 }
 
+// Regression: stats() used to read the counters as plain ints while other
+// threads incremented them under the cache mutex it did not always pair
+// with — a data race TSan flags the moment per-shard sessions hammer one
+// cache. The counters are atomics now; this test exists to race them.
+TEST(PlanCacheTest, ConcurrentStatsDuringInsertsIsRaceFree) {
+  PlanCache cache;
+  const DeviceSpec dev = Rtx3090();
+  std::vector<CsrMatrix> matrices;
+  std::vector<std::shared_ptr<const HybridPlan>> plans;
+  constexpr int kMatrices = 6;
+  for (int i = 0; i < kMatrices; ++i) {
+    matrices.push_back(TestMatrix(40 + i));
+    plans.push_back(BuildPlan(matrices.back(), dev));
+  }
+
+  constexpr int kIters = 200;
+  std::atomic<bool> done{false};
+  std::thread inserter([&] {
+    for (int i = 0; i < kIters; ++i) {
+      const int m = i % kMatrices;
+      cache.Insert(MakePlanCacheKey(matrices[m], dev, DataType::kTf32), plans[m]);
+    }
+    done.store(true);
+  });
+  std::thread looker([&] {
+    while (!done.load()) {
+      cache.Lookup(MakePlanCacheKey(matrices[0], dev, DataType::kTf32));
+    }
+  });
+  // The thread under test: stats() racing the writers above.
+  int64_t last_insertions = 0;
+  while (!done.load()) {
+    const PlanCacheStats stats = cache.stats();
+    EXPECT_GE(stats.insertions, last_insertions);  // monotone while racing
+    EXPECT_GE(stats.entries, 0);
+    last_insertions = stats.insertions;
+  }
+  inserter.join();
+  looker.join();
+  const PlanCacheStats final_stats = cache.stats();
+  EXPECT_EQ(final_stats.insertions, kIters);
+  EXPECT_EQ(final_stats.entries, kMatrices);
+}
+
 TEST(PlanCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
   const DeviceSpec dev = Rtx3090();
   const CsrMatrix m1 = TestMatrix(6);
