@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf gate: fail when a bench run regresses vs. its committed baseline.
+
+Compares the `points` of a bench JSON artifact (bench_parallel_scaling
+--json schema) against the committed baseline by thread count and fails
+when any point's wall-clock exceeds baseline * (1 + --max-regression).
+Also re-checks the bit_identical flags so a corrupt artifact cannot pass
+vacuously.
+
+Wall-clock gates across machines are inherently noisy; the threshold is
+deliberately generous (default 25%) and can be widened per-run via
+--max-regression or the HCSPMM_BENCH_GATE_PCT environment variable when a
+runner class changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        report = json.load(f)
+    points = {p["threads"]: p for p in report.get("points", [])}
+    if not points:
+        print(f"::error::{path} has no points")
+        sys.exit(1)
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("HCSPMM_BENCH_GATE_PCT", "0.25")),
+        help="allowed fractional wall-clock regression per point (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_points(args.baseline)
+    current = load_points(args.current)
+
+    failures = 0
+    for threads, base_point in sorted(baseline.items()):
+        cur_point = current.get(threads)
+        if cur_point is None:
+            print(f"::error::current run is missing the {threads}-thread point")
+            failures += 1
+            continue
+        if not cur_point.get("bit_identical", False):
+            print(f"::error::{threads}-thread point is not bit-identical")
+            failures += 1
+        base_ms, cur_ms = base_point["ms"], cur_point["ms"]
+        limit = base_ms * (1.0 + args.max_regression)
+        verdict = "OK" if cur_ms <= limit else "REGRESSION"
+        print(
+            f"threads={threads}: baseline {base_ms:.2f} ms, "
+            f"current {cur_ms:.2f} ms, limit {limit:.2f} ms -> {verdict}"
+        )
+        if cur_ms > limit:
+            print(
+                f"::error::{threads}-thread wall-clock regressed "
+                f"{(cur_ms / base_ms - 1.0) * 100.0:.1f}% "
+                f"(> {args.max_regression * 100.0:.0f}% allowed)"
+            )
+            failures += 1
+
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "gnn/dense_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "exec/thread_pool.h"
@@ -8,6 +9,7 @@
 #include "gpusim/scheduler.h"
 #include "sparse/reference.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace hcspmm {
 
@@ -16,6 +18,12 @@ namespace {
 /// Elementwise ops split into at-least-this-many-element chunks; smaller
 /// tensors are not worth a pool round-trip.
 constexpr int64_t kElementwiseGrain = 1 << 14;
+
+/// Row chunk grain for the per-row softmax/cross-entropy/argmax loops: keep
+/// roughly kElementwiseGrain elements per chunk.
+int64_t RowGrain(int32_t cols) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int32_t>(1, cols));
+}
 
 /// Minimum flops per GEMM chunk; below this a pool round-trip costs more
 /// than the arithmetic (the small weight GEMMs in GNN layers stay serial).
@@ -127,9 +135,7 @@ void MeteredReluInPlace(DenseMatrix* m, const DeviceSpec& dev,
   float* data = m->mutable_data().data();
   ParallelFor(
       0, static_cast<int64_t>(m->mutable_data().size()), /*num_threads=*/0,
-      [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) data[i] = std::max(data[i], 0.0f);
-      },
+      [&](int64_t b, int64_t e) { simd::Active().relu(data + b, e - b); },
       kElementwiseGrain);
   MeterElementwise("relu", m->MemoryBytes() * 2, dev, profile);
 }
@@ -144,7 +150,7 @@ DenseMatrix MeteredReluGrad(const DenseMatrix& grad_out, const DenseMatrix& pre_
   ParallelFor(
       0, static_cast<int64_t>(out.data().size()), /*num_threads=*/0,
       [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) dst[i] = pa[i] > 0.0f ? go[i] : 0.0f;
+        simd::Active().relu_grad(go + b, pa + b, dst + b, e - b);
       },
       kElementwiseGrain);
   MeterElementwise("relu_grad", out.MemoryBytes() * 3, dev, profile);
@@ -153,16 +159,24 @@ DenseMatrix MeteredReluGrad(const DenseMatrix& grad_out, const DenseMatrix& pre_
 
 DenseMatrix SoftmaxRows(const DenseMatrix& logits) {
   DenseMatrix out(logits.rows(), logits.cols());
-  for (int32_t r = 0; r < logits.rows(); ++r) {
-    const float* row = logits.RowData(r);
-    float mx = row[0];
-    for (int32_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (int32_t j = 0; j < logits.cols(); ++j) sum += std::exp(row[j] - mx);
-    for (int32_t j = 0; j < logits.cols(); ++j) {
-      out.At(r, j) = static_cast<float>(std::exp(row[j] - mx) / sum);
-    }
-  }
+  // Rows are independent and written disjointly, so the partition is
+  // bit-deterministic for any thread count (like the GEMM row kernels); the
+  // in-row max/sum reductions stay scalar to preserve their exact order.
+  ParallelFor(
+      0, logits.rows(), /*num_threads=*/0,
+      [&](int64_t rb, int64_t re) {
+        for (int32_t r = static_cast<int32_t>(rb); r < re; ++r) {
+          const float* row = logits.RowData(r);
+          float mx = row[0];
+          for (int32_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, row[j]);
+          double sum = 0.0;
+          for (int32_t j = 0; j < logits.cols(); ++j) sum += std::exp(row[j] - mx);
+          for (int32_t j = 0; j < logits.cols(); ++j) {
+            out.At(r, j) = static_cast<float>(std::exp(row[j] - mx) / sum);
+          }
+        }
+      },
+      RowGrain(logits.cols()));
   return out;
 }
 
@@ -172,33 +186,53 @@ double SoftmaxCrossEntropy(const DenseMatrix& logits,
   HCSPMM_CHECK(labels.size() == static_cast<size_t>(logits.rows()));
   const DenseMatrix probs = SoftmaxRows(logits);
   const double inv_n = 1.0 / logits.rows();
-  double loss = 0.0;
   if (grad_logits != nullptr) *grad_logits = DenseMatrix(logits.rows(), logits.cols());
-  for (int32_t r = 0; r < logits.rows(); ++r) {
-    const int32_t y = labels[r];
-    loss -= std::log(std::max(1e-12, static_cast<double>(probs.At(r, y))));
-    if (grad_logits != nullptr) {
-      for (int32_t j = 0; j < logits.cols(); ++j) {
-        grad_logits->At(r, j) =
-            static_cast<float>((probs.At(r, j) - (j == y ? 1.0f : 0.0f)) * inv_n);
-      }
-    }
-  }
+  // Per-row losses land in a buffer and are folded serially in row order
+  // below, so the total matches the historical sequential loop bit-for-bit
+  // no matter how ParallelFor chunks the rows.
+  std::vector<double> row_loss(static_cast<size_t>(logits.rows()), 0.0);
+  ParallelFor(
+      0, logits.rows(), /*num_threads=*/0,
+      [&](int64_t rb, int64_t re) {
+        for (int32_t r = static_cast<int32_t>(rb); r < re; ++r) {
+          const int32_t y = labels[r];
+          row_loss[r] = std::log(std::max(1e-12, static_cast<double>(probs.At(r, y))));
+          if (grad_logits != nullptr) {
+            for (int32_t j = 0; j < logits.cols(); ++j) {
+              grad_logits->At(r, j) = static_cast<float>(
+                  (probs.At(r, j) - (j == y ? 1.0f : 0.0f)) * inv_n);
+            }
+          }
+        }
+      },
+      RowGrain(logits.cols()));
+  double loss = 0.0;
+  for (int32_t r = 0; r < logits.rows(); ++r) loss -= row_loss[r];
   return loss * inv_n;
 }
 
 double PredictionAccuracy(const DenseMatrix& logits,
                           const std::vector<int32_t>& labels) {
-  int64_t correct = 0;
-  for (int32_t r = 0; r < logits.rows(); ++r) {
-    const float* row = logits.RowData(r);
-    int32_t best = 0;
-    for (int32_t j = 1; j < logits.cols(); ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    if (best == labels[r]) ++correct;
-  }
-  return logits.rows() > 0 ? static_cast<double>(correct) / logits.rows() : 0.0;
+  std::atomic<int64_t> correct{0};
+  ParallelFor(
+      0, logits.rows(), /*num_threads=*/0,
+      [&](int64_t rb, int64_t re) {
+        int64_t local = 0;
+        for (int32_t r = static_cast<int32_t>(rb); r < re; ++r) {
+          const float* row = logits.RowData(r);
+          int32_t best = 0;
+          for (int32_t j = 1; j < logits.cols(); ++j) {
+            if (row[j] > row[best]) best = j;
+          }
+          if (best == labels[r]) ++local;
+        }
+        correct.fetch_add(local, std::memory_order_relaxed);
+      },
+      RowGrain(logits.cols()));
+  return logits.rows() > 0
+             ? static_cast<double>(correct.load(std::memory_order_relaxed)) /
+                   logits.rows()
+             : 0.0;
 }
 
 void SgdStep(DenseMatrix* w, const DenseMatrix& grad, double lr) {
@@ -207,9 +241,7 @@ void SgdStep(DenseMatrix* w, const DenseMatrix& grad, double lr) {
   const float* gd = grad.data().data();
   ParallelFor(
       0, static_cast<int64_t>(w->data().size()), /*num_threads=*/0,
-      [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) wd[i] -= static_cast<float>(lr * gd[i]);
-      },
+      [&](int64_t b, int64_t e) { simd::Active().sgd(wd + b, gd + b, e - b, lr); },
       kElementwiseGrain);
 }
 

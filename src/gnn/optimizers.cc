@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace hcspmm {
 
@@ -24,38 +25,26 @@ void Optimizer::Step(const std::vector<const DenseMatrix*>& grads) {
     HCSPMM_CHECK(w.rows() == g.rows() && w.cols() == g.cols()) << "shape mismatch";
     auto& wd = w.mutable_data();
     const auto& gd = g.data();
+    const int64_t n = static_cast<int64_t>(wd.size());
+    // The double-precision update arithmetic lives in the SIMD layer
+    // (util/simd.h); lanes span independent parameters, so results are
+    // bit-identical to the historical scalar loops at every SimdLevel.
     switch (config_.kind) {
       case OptimizerKind::kSgd:
-        for (size_t j = 0; j < wd.size(); ++j) {
-          wd[j] -= static_cast<float>(
-              lr * (gd[j] + config_.weight_decay * wd[j]));
-        }
+        simd::Active().sgd_decay(wd.data(), gd.data(), n, lr,
+                                 config_.weight_decay);
         break;
-      case OptimizerKind::kMomentum: {
-        auto& md = m_[i].mutable_data();
-        for (size_t j = 0; j < wd.size(); ++j) {
-          md[j] = static_cast<float>(config_.momentum * md[j] + gd[j] +
-                                     config_.weight_decay * wd[j]);
-          wd[j] -= static_cast<float>(lr * md[j]);
-        }
+      case OptimizerKind::kMomentum:
+        simd::Active().momentum(wd.data(), gd.data(), m_[i].mutable_data().data(),
+                                n, lr, config_.momentum, config_.weight_decay);
         break;
-      }
       case OptimizerKind::kAdam: {
-        auto& md = m_[i].mutable_data();
-        auto& vd = v_[i].mutable_data();
         const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
         const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
-        for (size_t j = 0; j < wd.size(); ++j) {
-          const double grad = gd[j] + config_.weight_decay * wd[j];
-          md[j] = static_cast<float>(config_.beta1 * md[j] +
-                                     (1.0 - config_.beta1) * grad);
-          vd[j] = static_cast<float>(config_.beta2 * vd[j] +
-                                     (1.0 - config_.beta2) * grad * grad);
-          const double m_hat = md[j] / bc1;
-          const double v_hat = vd[j] / bc2;
-          wd[j] -= static_cast<float>(lr * m_hat /
-                                      (std::sqrt(v_hat) + config_.epsilon));
-        }
+        simd::Active().adam(wd.data(), gd.data(), m_[i].mutable_data().data(),
+                            v_[i].mutable_data().data(), n, lr, config_.beta1,
+                            config_.beta2, config_.epsilon, config_.weight_decay,
+                            bc1, bc2);
         break;
       }
     }

@@ -16,6 +16,21 @@ WindowCost CudaOptimizedSpmm::WindowCostFor(const WindowShape& shape,
 Status CudaOptimizedSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
                               const DeviceSpec& dev, const KernelOptions& opts,
                               DenseMatrix* z, KernelProfile* profile) const {
+  if (profile != nullptr) {
+    // Windows are needed purely for metering; build them once for this call.
+    // Callers that profile the same matrix repeatedly (the Session layer)
+    // should hold the windows and use RunWithWindows to amortize the cost.
+    const WindowedCsr windows = BuildWindows(a);
+    return RunWithWindows(windows, a, x, dev, opts, z, profile);
+  }
+  return RunWithWindows(WindowedCsr(), a, x, dev, opts, z, nullptr);
+}
+
+Status CudaOptimizedSpmm::RunWithWindows(const WindowedCsr& windows,
+                                         const CsrMatrix& a, const DenseMatrix& x,
+                                         const DeviceSpec& dev,
+                                         const KernelOptions& opts, DenseMatrix* z,
+                                         KernelProfile* profile) const {
   if (a.cols() != x.rows()) {
     return Status::InvalidArgument("SpMM shape mismatch: A.cols != X.rows");
   }
@@ -23,7 +38,6 @@ Status CudaOptimizedSpmm::Run(const CsrMatrix& a, const DenseMatrix& x,
   internal::SpmmRowsRounded(a, x, 0, a.rows(), DataType::kFp32, z, opts.num_threads);
 
   if (profile != nullptr) {
-    WindowedCsr windows = BuildWindows(a);
     KernelCostAccumulator acc(name(), dev);
     for (const RowWindow& w : windows.windows) {
       if (w.nnz == 0) continue;

@@ -19,6 +19,17 @@ class CudaOptimizedSpmm : public SpmmKernel {
              const KernelOptions& opts, DenseMatrix* z,
              KernelProfile* profile) const override;
 
+  /// Like Run, but meters against caller-provided row windows instead of
+  /// rebuilding BuildWindows(a) per profiled call (Run pays that host-side
+  /// cost once per invocation; the Session layer builds the windows once at
+  /// init and amortizes them over every multiply). `windows` must be the
+  /// windowing of `a`. Profiling never changes the numeric output: the
+  /// functional execution is identical whether `profile` is null or not.
+  Status RunWithWindows(const WindowedCsr& windows, const CsrMatrix& a,
+                        const DenseMatrix& x, const DeviceSpec& dev,
+                        const KernelOptions& opts, DenseMatrix* z,
+                        KernelProfile* profile) const;
+
   /// Cost of one row window under this kernel's tuning (used by the hybrid
   /// dispatcher and the core-selection training pipeline).
   WindowCost WindowCostFor(const WindowShape& shape, const DeviceSpec& dev,

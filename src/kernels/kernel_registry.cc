@@ -9,6 +9,7 @@
 #include "kernels/cuda_optimized.h"
 #include "kernels/tensor_basic.h"
 #include "kernels/tensor_optimized.h"
+#include "util/simd.h"
 
 namespace hcspmm {
 
@@ -20,14 +21,12 @@ void SpmmRowsSerial(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
                     int32_t row_end, DataType dtype, DenseMatrix* z) {
   const int32_t dim = x.cols();
   if (dtype == DataType::kFp32) {
-    for (int32_t r = row_begin; r < row_end; ++r) {
-      float* zr = z->MutableRowData(r);
-      for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
-        const float v = a.val()[k];
-        const float* xr = x.RowData(a.col_ind()[k]);
-        for (int32_t j = 0; j < dim; ++j) zr[j] += v * xr[j];
-      }
-    }
+    // Vectorized along the independent output-column axis with separate
+    // mul + add, so each output element keeps the scalar accumulation order
+    // (bit-identical for every SimdLevel; see util/simd.h).
+    simd::Active().spmm_rows(a.row_ptr().data(), a.col_ind().data(),
+                             a.val().data(), x.RowData(0), z->MutableRowData(0),
+                             row_begin, row_end, dim);
     return;
   }
   for (int32_t r = row_begin; r < row_end; ++r) {

@@ -184,6 +184,11 @@ class Session : public std::enable_shared_from_this<Session> {
   // (the future's mutex orders the hand-off).
   std::unique_ptr<SpmmKernel> kernel_;
   std::shared_ptr<const HybridPlan> plan_;
+  // Row windows kept for kernels that meter per window without a hybrid
+  // plan ("cuda_opt"): built once at init instead of on every profiled
+  // multiply. Empty for the other kernels.
+  WindowedCsr windows_;
+  bool have_windows_ = false;
   bool plan_from_cache_ = false;
   double preprocess_ns_ = 0.0;
   int64_t aux_bytes_ = 0;

@@ -6,7 +6,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned_allocator.h"
+
 namespace hcspmm {
+
+/// Backing store of DenseMatrix: contiguous (leading dimension == cols) but
+/// 64-byte aligned, so SIMD loads on row starts never straddle cache lines —
+/// for the typical multiple-of-16 feature dimensions *every* row start is
+/// 64-byte aligned, and RowData(0) is for any shape.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float, 64>>;
 
 /// \brief Dense row-major float matrix (the X / Z operands of SpMM).
 class DenseMatrix {
@@ -25,8 +33,8 @@ class DenseMatrix {
   const float* RowData(int32_t r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
   float* MutableRowData(int32_t r) { return data_.data() + static_cast<size_t>(r) * cols_; }
 
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& mutable_data() { return data_; }
+  const AlignedFloatVector& data() const { return data_; }
+  AlignedFloatVector& mutable_data() { return data_; }
 
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
@@ -44,7 +52,7 @@ class DenseMatrix {
  private:
   int32_t rows_ = 0;
   int32_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedFloatVector data_;
 };
 
 }  // namespace hcspmm

@@ -1,6 +1,7 @@
 #include "sparse/reference.h"
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace hcspmm {
 
@@ -21,46 +22,30 @@ DenseMatrix ReferenceSpmm(const CsrMatrix& a, const DenseMatrix& x) {
 
 namespace internal {
 
+// The three row-range GEMM kernels dispatch to the SIMD layer; lanes span
+// the independent output-column axis only, so per-element accumulation
+// order — and therefore every fp32 bit — matches the historical scalar
+// loops for any SimdLevel, thread count, and row partition.
+
 void GemmRows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
               int32_t row_end, DenseMatrix* c) {
-  for (int32_t i = row_begin; i < row_end; ++i) {
-    for (int32_t k = 0; k < a.cols(); ++k) {
-      const float aik = a.At(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.RowData(k);
-      float* crow = c->MutableRowData(i);
-      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  simd::Active().gemm_rows(a.RowData(0), b.RowData(0), c->MutableRowData(0),
+                           a.cols(), b.cols(), row_begin, row_end);
 }
 
 void GemmTransARows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
                     int32_t row_end, DenseMatrix* c) {
-  // k (rows of A) stays the outer loop so each output element accumulates in
-  // k-ascending order no matter how the [row_begin, row_end) span is chosen.
-  for (int32_t k = 0; k < a.rows(); ++k) {
-    const float* arow = a.RowData(k);
-    const float* brow = b.RowData(k);
-    for (int32_t i = row_begin; i < row_end; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c->MutableRowData(i);
-      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // k (rows of A) stays the outer loop inside the kernel so each output
+  // element accumulates in k-ascending order no matter how the
+  // [row_begin, row_end) span is chosen.
+  simd::Active().gemm_ta_rows(a.RowData(0), b.RowData(0), c->MutableRowData(0),
+                              a.rows(), a.cols(), b.cols(), row_begin, row_end);
 }
 
 void GemmTransBRows(const DenseMatrix& a, const DenseMatrix& b, int32_t row_begin,
                     int32_t row_end, DenseMatrix* c) {
-  for (int32_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a.RowData(i);
-    for (int32_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.RowData(j);
-      double acc = 0.0;
-      for (int32_t k = 0; k < a.cols(); ++k) acc += static_cast<double>(arow[k]) * brow[k];
-      c->At(i, j) = static_cast<float>(acc);
-    }
-  }
+  simd::Active().gemm_tb_rows(a.RowData(0), b.RowData(0), c->MutableRowData(0),
+                              a.cols(), b.rows(), row_begin, row_end);
 }
 
 }  // namespace internal

@@ -1,0 +1,46 @@
+// Over-aligned allocator for SIMD-friendly dense storage. DenseMatrix keeps
+// its buffer 64-byte aligned (one cache line, two AVX2 vectors) so vector
+// loads on row starts never straddle cache lines for the typical
+// multiple-of-16 feature dimensions.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hcspmm {
+
+/// Minimal C++17 allocator handing out `Alignment`-byte-aligned storage via
+/// the aligned operator new/delete pair.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace hcspmm

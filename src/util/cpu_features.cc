@@ -1,0 +1,76 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hcspmm {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel BestSupportedSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports executes CPUID at runtime, so this translation
+  // unit needs no ISA flags and the answer is about the machine, not the
+  // compile target.
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  // Advanced SIMD (including the fp64 vector ops the optimizer kernels use)
+  // is architecturally mandatory on aarch64.
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* e = std::getenv("HCSPMM_FORCE_SCALAR");
+  return e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0;
+}
+
+// -1 = not yet latched; otherwise a SimdLevel enumerator.
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+SimdLevel DetectSimdLevel() {
+  if (ForceScalarFromEnv()) return SimdLevel::kScalar;
+  return BestSupportedSimdLevel();
+}
+
+SimdLevel ActiveSimdLevel() {
+  int v = g_active_level.load(std::memory_order_acquire);
+  if (v < 0) {
+    const int detected = static_cast<int>(DetectSimdLevel());
+    // Several threads may race the first detection; they all compute the
+    // same answer, so whichever CAS wins is correct.
+    g_active_level.compare_exchange_strong(v, detected, std::memory_order_acq_rel);
+    v = g_active_level.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+SimdLevel SetActiveSimdLevel(SimdLevel level) {
+  ActiveSimdLevel();  // latch the detected level so the exchange returns it
+  const int prev =
+      g_active_level.exchange(static_cast<int>(level), std::memory_order_acq_rel);
+  return static_cast<SimdLevel>(prev);
+}
+
+}  // namespace hcspmm

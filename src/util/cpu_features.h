@@ -1,0 +1,47 @@
+// Runtime CPU feature detection for the SIMD execution layer (src/util/simd.h).
+// The level is probed once (CPUID-style builtins on x86, compile-time baseline
+// on aarch64) and can be forced down to the scalar reference implementation
+// with HCSPMM_FORCE_SCALAR=1 — the scalar and vector paths are bit-identical
+// by construction, so forcing is a debugging/verification knob, not a
+// numerics switch.
+#pragma once
+
+namespace hcspmm {
+
+/// Vector instruction sets the dispatcher can select between. Order is
+/// meaningful: higher enumerators are wider/never-worse supersets on their
+/// architecture (kNeon and kSse2/kAvx2 belong to disjoint architectures).
+enum class SimdLevel {
+  kScalar = 0,  ///< plain C++ loops, the bit-exactness reference
+  kSse2 = 1,    ///< 4-wide fp32 / 2x2-wide fp64 (x86-64 baseline)
+  kNeon = 2,    ///< 4-wide fp32 / 2x2-wide fp64 (aarch64 baseline)
+  kAvx2 = 3,    ///< 8-wide fp32 / 2x4-wide fp64
+};
+
+/// Human-readable level name ("scalar", "sse2", "neon", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Widest level this CPU supports, ignoring the environment override.
+/// Uncached: probes the hardware on every call.
+SimdLevel BestSupportedSimdLevel();
+
+/// BestSupportedSimdLevel(), forced down to kScalar when the
+/// HCSPMM_FORCE_SCALAR environment variable is set to anything but "0" or
+/// the empty string. Uncached: re-reads the environment on every call (the
+/// process-wide choice below latches it once).
+SimdLevel DetectSimdLevel();
+
+/// Process-wide level used by simd::Active(). The first call runs
+/// DetectSimdLevel() and latches the result; later environment changes have
+/// no effect (use SetActiveSimdLevel to override in-process).
+SimdLevel ActiveSimdLevel();
+
+/// Override the process-wide level. The request is stored as-is;
+/// simd::KernelsFor resolves it against what the CPU supports and what was
+/// compiled in, falling back toward kScalar, so requesting an unsupported
+/// ISA can never dispatch illegal instructions. Returns the previous level.
+/// Intended for tests and benches that compare the scalar and vector paths
+/// within one process.
+SimdLevel SetActiveSimdLevel(SimdLevel level);
+
+}  // namespace hcspmm

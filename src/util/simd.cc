@@ -1,0 +1,42 @@
+#include "util/simd.h"
+
+namespace hcspmm {
+namespace simd {
+
+namespace {
+
+// Table for `level` if it was compiled in AND this CPU can execute it.
+const SimdKernels* UsableTable(SimdLevel level) {
+  if (BestSupportedSimdLevel() < level) return nullptr;
+  switch (level) {
+    case SimdLevel::kScalar:
+      return internal::GetScalarKernels();
+    case SimdLevel::kSse2:
+      return internal::GetSse2Kernels();
+    case SimdLevel::kNeon:
+      return internal::GetNeonKernels();
+    case SimdLevel::kAvx2:
+      return internal::GetAvx2Kernels();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const SimdKernels& KernelsFor(SimdLevel level) {
+  // Fall back toward scalar: AVX2 -> SSE2 -> scalar on x86, NEON -> scalar
+  // on ARM. The scalar table always exists.
+  if (level == SimdLevel::kAvx2) {
+    if (const SimdKernels* t = UsableTable(SimdLevel::kAvx2)) return *t;
+    level = SimdLevel::kSse2;
+  }
+  if (level == SimdLevel::kSse2 || level == SimdLevel::kNeon) {
+    if (const SimdKernels* t = UsableTable(level)) return *t;
+  }
+  return *internal::GetScalarKernels();
+}
+
+const SimdKernels& Active() { return KernelsFor(ActiveSimdLevel()); }
+
+}  // namespace simd
+}  // namespace hcspmm

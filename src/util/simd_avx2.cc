@@ -1,0 +1,102 @@
+// AVX2 instantiation: 8-wide fp32, 2x4-wide fp64. CMake compiles this file
+// with -mavx2 -ffp-contract=off (only when the compiler supports the flag);
+// the dispatcher selects it only when CPUID reports AVX2, so the rest of the
+// binary stays at the base ISA. -mavx2 deliberately does not imply -mfma and
+// contraction is off, so mul + add stays two rounded operations and results
+// match the scalar reference bit-for-bit.
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "util/simd_kernels_impl.h"
+
+namespace hcspmm {
+namespace simd {
+namespace {
+
+struct VecD8 {
+  __m256d lo, hi;
+};
+
+struct Avx2Traits {
+  static constexpr int kWidth = 8;
+  using VF = __m256;
+  using VD = VecD8;
+
+  static VF LoadF(const float* p) { return _mm256_loadu_ps(p); }
+  static void StoreF(float* p, VF v) { _mm256_storeu_ps(p, v); }
+  static VF BroadcastF(float s) { return _mm256_set1_ps(s); }
+  static VD BroadcastD(double s) { return {_mm256_set1_pd(s), _mm256_set1_pd(s)}; }
+  static VD ZeroD() { return {_mm256_setzero_pd(), _mm256_setzero_pd()}; }
+  static VF AddF(VF a, VF b) { return _mm256_add_ps(a, b); }
+  static VF SubF(VF a, VF b) { return _mm256_sub_ps(a, b); }
+  static VF MulF(VF a, VF b) { return _mm256_mul_ps(a, b); }
+  // x < 0 ? 0 : x — ordered compare is false for NaN, so NaN and -0.0 pass
+  // through exactly like the scalar reference.
+  static VF ReluF(VF v) {
+    return _mm256_andnot_ps(_mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_LT_OQ), v);
+  }
+  static VF Gt0AndF(VF gate, VF x) {
+    return _mm256_and_ps(_mm256_cmp_ps(gate, _mm256_setzero_ps(), _CMP_GT_OQ), x);
+  }
+  static VD AddD(VD a, VD b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  static VD MulD(VD a, VD b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  static VD DivD(VD a, VD b) {
+    return {_mm256_div_pd(a.lo, b.lo), _mm256_div_pd(a.hi, b.hi)};
+  }
+  static VD SqrtD(VD v) { return {_mm256_sqrt_pd(v.lo), _mm256_sqrt_pd(v.hi)}; }
+  static VD WidenFToD(VF v) {
+    return {_mm256_cvtps_pd(_mm256_castps256_ps128(v)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1))};
+  }
+  static VF NarrowDToF(VD v) {
+    return _mm256_insertf128_ps(_mm256_castps128_ps256(_mm256_cvtpd_ps(v.lo)),
+                                _mm256_cvtpd_ps(v.hi), 1);
+  }
+  // Strided scalar loads instead of vgatherdps: the strides here are row
+  // pitches (well beyond gather's fast paths) and four plain loads per half
+  // keep the port pressure predictable.
+  static VD GatherFAsD(const float* p, int64_t stride) {
+    return {_mm256_set_pd(
+                static_cast<double>(p[3 * stride]), static_cast<double>(p[2 * stride]),
+                static_cast<double>(p[stride]), static_cast<double>(p[0])),
+            _mm256_set_pd(
+                static_cast<double>(p[7 * stride]), static_cast<double>(p[6 * stride]),
+                static_cast<double>(p[5 * stride]), static_cast<double>(p[4 * stride]))};
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels* GetAvx2Kernels() {
+  static const SimdKernels kTable = MakeKernels<Avx2Traits>(SimdLevel::kAvx2);
+  return &kTable;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hcspmm
+
+#else  // !defined(__AVX2__)
+
+#include "util/simd.h"
+
+namespace hcspmm {
+namespace simd {
+namespace internal {
+
+const SimdKernels* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hcspmm
+
+#endif

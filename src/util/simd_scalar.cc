@@ -1,0 +1,54 @@
+// Scalar instantiation of the SIMD hot loops — the bit-exactness reference
+// every vector level is asserted against. CMake builds this translation
+// unit with auto-vectorization disabled so "forced scalar" means genuinely
+// scalar code: the level only executes when HCSPMM_FORCE_SCALAR is set or
+// on architectures without a vector table, and keeping it un-vectorized
+// makes the scalar-vs-SIMD bench a measurement of vector width rather than
+// of compiler whims.
+#include <cmath>
+
+#include "util/simd_kernels_impl.h"
+
+namespace hcspmm {
+namespace simd {
+namespace {
+
+struct ScalarTraits {
+  static constexpr int kWidth = 1;
+  using VF = float;
+  using VD = double;
+
+  static VF LoadF(const float* p) { return *p; }
+  static void StoreF(float* p, VF v) { *p = v; }
+  static VF BroadcastF(float s) { return s; }
+  static VD BroadcastD(double s) { return s; }
+  static VD ZeroD() { return 0.0; }
+  static VF AddF(VF a, VF b) { return a + b; }
+  static VF SubF(VF a, VF b) { return a - b; }
+  static VF MulF(VF a, VF b) { return a * b; }
+  static VF ReluF(VF v) { return v < 0.0f ? 0.0f : v; }
+  static VF Gt0AndF(VF gate, VF x) { return gate > 0.0f ? x : 0.0f; }
+  static VD AddD(VD a, VD b) { return a + b; }
+  static VD MulD(VD a, VD b) { return a * b; }
+  static VD DivD(VD a, VD b) { return a / b; }
+  static VD SqrtD(VD v) { return std::sqrt(v); }
+  static VD WidenFToD(VF v) { return static_cast<double>(v); }
+  static VF NarrowDToF(VD v) { return static_cast<float>(v); }
+  static VD GatherFAsD(const float* p, int64_t stride) {
+    (void)stride;
+    return static_cast<double>(*p);
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels* GetScalarKernels() {
+  static const SimdKernels kTable = MakeKernels<ScalarTraits>(SimdLevel::kScalar);
+  return &kTable;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hcspmm

@@ -1,0 +1,92 @@
+// SSE2 instantiation: 4-wide fp32, 2x2-wide fp64. SSE2 is part of the
+// x86-64 baseline, so this level is always available there; CMake compiles
+// the file with -ffp-contract=off so mul + add never contracts to FMA (the
+// bit-identity contract of util/simd.h).
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+#include "util/simd_kernels_impl.h"
+
+namespace hcspmm {
+namespace simd {
+namespace {
+
+struct VecD4 {
+  __m128d lo, hi;
+};
+
+struct Sse2Traits {
+  static constexpr int kWidth = 4;
+  using VF = __m128;
+  using VD = VecD4;
+
+  static VF LoadF(const float* p) { return _mm_loadu_ps(p); }
+  static void StoreF(float* p, VF v) { _mm_storeu_ps(p, v); }
+  static VF BroadcastF(float s) { return _mm_set1_ps(s); }
+  static VD BroadcastD(double s) { return {_mm_set1_pd(s), _mm_set1_pd(s)}; }
+  static VD ZeroD() { return {_mm_setzero_pd(), _mm_setzero_pd()}; }
+  static VF AddF(VF a, VF b) { return _mm_add_ps(a, b); }
+  static VF SubF(VF a, VF b) { return _mm_sub_ps(a, b); }
+  static VF MulF(VF a, VF b) { return _mm_mul_ps(a, b); }
+  // x < 0 ? 0 : x — NaN and -0.0 pass through like the scalar reference
+  // (cmplt is false for NaN, andnot with a zero mask returns x verbatim).
+  static VF ReluF(VF v) {
+    return _mm_andnot_ps(_mm_cmplt_ps(v, _mm_setzero_ps()), v);
+  }
+  static VF Gt0AndF(VF gate, VF x) {
+    return _mm_and_ps(_mm_cmpgt_ps(gate, _mm_setzero_ps()), x);
+  }
+  static VD AddD(VD a, VD b) {
+    return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+  }
+  static VD MulD(VD a, VD b) {
+    return {_mm_mul_pd(a.lo, b.lo), _mm_mul_pd(a.hi, b.hi)};
+  }
+  static VD DivD(VD a, VD b) {
+    return {_mm_div_pd(a.lo, b.lo), _mm_div_pd(a.hi, b.hi)};
+  }
+  static VD SqrtD(VD v) { return {_mm_sqrt_pd(v.lo), _mm_sqrt_pd(v.hi)}; }
+  static VD WidenFToD(VF v) {
+    return {_mm_cvtps_pd(v), _mm_cvtps_pd(_mm_movehl_ps(v, v))};
+  }
+  static VF NarrowDToF(VD v) {
+    return _mm_movelh_ps(_mm_cvtpd_ps(v.lo), _mm_cvtpd_ps(v.hi));
+  }
+  static VD GatherFAsD(const float* p, int64_t stride) {
+    return {_mm_set_pd(static_cast<double>(p[stride]), static_cast<double>(p[0])),
+            _mm_set_pd(static_cast<double>(p[3 * stride]),
+                       static_cast<double>(p[2 * stride]))};
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels* GetSse2Kernels() {
+  static const SimdKernels kTable = MakeKernels<Sse2Traits>(SimdLevel::kSse2);
+  return &kTable;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hcspmm
+
+#else  // !defined(__SSE2__)
+
+#include "util/simd.h"
+
+namespace hcspmm {
+namespace simd {
+namespace internal {
+
+const SimdKernels* GetSse2Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hcspmm
+
+#endif

@@ -221,6 +221,34 @@ TEST(KernelProfileTest, NullProfileSkipsMetering) {
   EXPECT_EQ(z.rows(), 32);
 }
 
+TEST(KernelProfileTest, ProfilingDoesNotChangeNumericOutput) {
+  // Metering is a pure observer: cuda_opt's windows exist only for cost
+  // accounting, so running with a profile, without one, or with prebuilt
+  // windows must yield bitwise-identical products.
+  Pcg32 rng(19);
+  CsrMatrix a = GenerateUniformSparse(90, 70, 0.08, &rng);
+  DenseMatrix x = GenerateDense(70, 24, &rng);
+  CudaOptimizedSpmm kernel;
+  KernelOptions opts;
+  opts.dtype = DataType::kFp32;
+
+  DenseMatrix z_plain, z_profiled, z_windows;
+  KernelProfile prof, prof_windows;
+  ASSERT_TRUE(kernel.Run(a, x, Rtx3090(), opts, &z_plain, nullptr).ok());
+  ASSERT_TRUE(kernel.Run(a, x, Rtx3090(), opts, &z_profiled, &prof).ok());
+  const WindowedCsr windows = BuildWindows(a);
+  ASSERT_TRUE(kernel
+                  .RunWithWindows(windows, a, x, Rtx3090(), opts, &z_windows,
+                                  &prof_windows)
+                  .ok());
+  EXPECT_EQ(z_plain.MaxAbsDifference(z_profiled), 0.0);
+  EXPECT_EQ(z_plain.MaxAbsDifference(z_windows), 0.0);
+  // Reused windows meter exactly like freshly built ones.
+  EXPECT_EQ(prof.time_ns, prof_windows.time_ns);
+  EXPECT_EQ(prof.blocks, prof_windows.blocks);
+  EXPECT_GT(prof.time_ns, 0.0);
+}
+
 class SparsitySweepTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(SparsitySweepTest, DenserMatricesFavorTensorCores) {

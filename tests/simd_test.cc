@@ -1,0 +1,356 @@
+// SIMD execution layer: lane-width/tail handling, bitwise identity of every
+// dispatched kernel against the forced-scalar reference table (including
+// full GCN/GIN training and the sharded path), DenseMatrix alignment, and
+// the HCSPMM_FORCE_SCALAR environment round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "gnn/optimizers.h"
+#include "gnn/trainer.h"
+#include "graph/generators.h"
+#include "runtime/runtime.h"
+#include "shard/sharded_session.h"
+#include "sparse/convert.h"
+#include "sparse/generate.h"
+#include "sparse/reference.h"
+#include "util/cpu_features.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace hcspmm {
+namespace {
+
+// Bitwise float equality: catches sign-of-zero and NaN-payload divergence
+// that EXPECT_EQ on values would miss.
+void ExpectBitwiseEqual(const float* a, const float* b, int64_t n,
+                        const char* what) {
+  for (int64_t i = 0; i < n; ++i) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " diverges at element " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+void ExpectBitwiseEqual(const DenseMatrix& a, const DenseMatrix& b,
+                        const char* what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ExpectBitwiseEqual(a.data().data(), b.data().data(),
+                     static_cast<int64_t>(a.data().size()), what);
+}
+
+// Restores the previous active level on scope exit so tests cannot leak a
+// forced level into each other.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(SetActiveSimdLevel(level)) {}
+  ~ScopedSimdLevel() { SetActiveSimdLevel(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed, bool with_edge_values) {
+  Pcg32 rng(seed);
+  std::vector<float> v(n);
+  for (int64_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+  }
+  if (with_edge_values && n >= 4) {
+    v[0] = 0.0f;
+    v[1] = -0.0f;
+    v[2] = 1e-30f;   // denormal-adjacent magnitude
+    v[3] = -1e-30f;
+  }
+  return v;
+}
+
+// The dims the tail logic must survive: below, at, just above, and well
+// above every lane width (1..8), plus non-multiples.
+const std::vector<int32_t> kDimSweep = {1, 7, 8, 9, 64, 100};
+
+TEST(SimdDispatchTest, LevelNamesAndTables) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse2), "sse2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kNeon), "neon");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_EQ(simd::KernelsFor(SimdLevel::kScalar).level, SimdLevel::kScalar);
+  // Whatever the dispatcher resolves must never exceed hardware support.
+  EXPECT_LE(static_cast<int>(simd::Active().level),
+            static_cast<int>(BestSupportedSimdLevel()));
+  EXPECT_NE(simd::ActiveLevelName(), nullptr);
+#if defined(__x86_64__)
+  // x86-64 always has at least SSE2, so the dispatched table should not be
+  // scalar unless the environment forced it before the level latched.
+  if (DetectSimdLevel() != SimdLevel::kScalar) {
+    EXPECT_NE(simd::Active().level, SimdLevel::kScalar);
+  }
+#endif
+}
+
+TEST(SimdDispatchTest, ForceScalarEnvRoundTrip) {
+  ASSERT_EQ(setenv("HCSPMM_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(DetectSimdLevel(), SimdLevel::kScalar);
+  ASSERT_EQ(setenv("HCSPMM_FORCE_SCALAR", "0", /*overwrite=*/1), 0);
+  EXPECT_EQ(DetectSimdLevel(), BestSupportedSimdLevel());
+  ASSERT_EQ(unsetenv("HCSPMM_FORCE_SCALAR"), 0);
+  EXPECT_EQ(DetectSimdLevel(), BestSupportedSimdLevel());
+}
+
+TEST(SimdDispatchTest, SetActiveSimdLevelOverridesAndRestores) {
+  const SimdLevel before = ActiveSimdLevel();
+  {
+    ScopedSimdLevel forced(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    EXPECT_EQ(simd::Active().level, SimdLevel::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdLevel(), before);
+}
+
+TEST(SimdKernelTest, SpmmBitIdenticalAcrossLevelsAndTails) {
+  const simd::SimdKernels& scalar = simd::KernelsFor(SimdLevel::kScalar);
+  const simd::SimdKernels& best = simd::Active();
+  for (int32_t dim : kDimSweep) {
+    Pcg32 rng(91 + dim);
+    CsrMatrix a = GenerateUniformSparse(120, 90, 0.08, &rng);
+    DenseMatrix x = GenerateDense(90, dim, &rng);
+    DenseMatrix z_scalar(a.rows(), dim);
+    DenseMatrix z_simd(a.rows(), dim);
+    scalar.spmm_rows(a.row_ptr().data(), a.col_ind().data(), a.val().data(),
+                     x.RowData(0), z_scalar.MutableRowData(0), 0, a.rows(), dim);
+    best.spmm_rows(a.row_ptr().data(), a.col_ind().data(), a.val().data(),
+                   x.RowData(0), z_simd.MutableRowData(0), 0, a.rows(), dim);
+    ExpectBitwiseEqual(z_scalar, z_simd, "spmm");
+  }
+}
+
+TEST(SimdKernelTest, GemmVariantsBitIdenticalAcrossLevelsAndTails) {
+  const simd::SimdKernels& scalar = simd::KernelsFor(SimdLevel::kScalar);
+  const simd::SimdKernels& best = simd::Active();
+  for (int32_t n : kDimSweep) {
+    Pcg32 rng(17 + n);
+    const int32_t m = 33, k = 29;
+    DenseMatrix a = GenerateDense(m, k, &rng);
+    DenseMatrix b = GenerateDense(k, n, &rng);
+    // A few exact zeros so the skip-zero branch is exercised.
+    a.At(0, 0) = 0.0f;
+    a.At(5, 3) = 0.0f;
+
+    DenseMatrix c_scalar(m, n), c_simd(m, n);
+    scalar.gemm_rows(a.RowData(0), b.RowData(0), c_scalar.MutableRowData(0), k, n,
+                     0, m);
+    best.gemm_rows(a.RowData(0), b.RowData(0), c_simd.MutableRowData(0), k, n, 0,
+                   m);
+    ExpectBitwiseEqual(c_scalar, c_simd, "gemm");
+
+    // A^T * B: output is (k x n) from A (m x k), B (m x n).
+    DenseMatrix b2 = GenerateDense(m, n, &rng);
+    DenseMatrix ta_scalar(k, n), ta_simd(k, n);
+    scalar.gemm_ta_rows(a.RowData(0), b2.RowData(0), ta_scalar.MutableRowData(0),
+                        m, k, n, 0, k);
+    best.gemm_ta_rows(a.RowData(0), b2.RowData(0), ta_simd.MutableRowData(0), m,
+                      k, n, 0, k);
+    ExpectBitwiseEqual(ta_scalar, ta_simd, "gemm_ta");
+
+    // A * B^T: A (m x k), B (n x k) -> C (m x n); n sweeps the lane widths.
+    DenseMatrix b3 = GenerateDense(n, k, &rng);
+    DenseMatrix tb_scalar(m, n), tb_simd(m, n);
+    scalar.gemm_tb_rows(a.RowData(0), b3.RowData(0), tb_scalar.MutableRowData(0),
+                        k, n, 0, m);
+    best.gemm_tb_rows(a.RowData(0), b3.RowData(0), tb_simd.MutableRowData(0), k,
+                      n, 0, m);
+    ExpectBitwiseEqual(tb_scalar, tb_simd, "gemm_tb");
+  }
+}
+
+TEST(SimdKernelTest, ElementwiseBitIdenticalIncludingEdgeValues) {
+  const simd::SimdKernels& scalar = simd::KernelsFor(SimdLevel::kScalar);
+  const simd::SimdKernels& best = simd::Active();
+  for (int64_t n : {1, 7, 8, 9, 64, 100, 1003}) {
+    std::vector<float> z1 = RandomVec(n, 5 + n, /*with_edge_values=*/true);
+    std::vector<float> z2 = z1;
+    scalar.relu(z1.data(), n);
+    best.relu(z2.data(), n);
+    ExpectBitwiseEqual(z1.data(), z2.data(), n, "relu");
+
+    std::vector<float> go = RandomVec(n, 7 + n, true);
+    std::vector<float> pa = RandomVec(n, 11 + n, true);
+    std::vector<float> d1(n), d2(n);
+    scalar.relu_grad(go.data(), pa.data(), d1.data(), n);
+    best.relu_grad(go.data(), pa.data(), d2.data(), n);
+    ExpectBitwiseEqual(d1.data(), d2.data(), n, "relu_grad");
+  }
+}
+
+TEST(SimdKernelTest, OptimizerUpdatesBitIdentical) {
+  const simd::SimdKernels& scalar = simd::KernelsFor(SimdLevel::kScalar);
+  const simd::SimdKernels& best = simd::Active();
+  const double lr = 0.05, wd = 1e-4, mom = 0.9;
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  for (int64_t n : {1, 7, 8, 9, 64, 100, 1003}) {
+    std::vector<float> w1 = RandomVec(n, 3 + n, true), w2 = w1;
+    std::vector<float> g = RandomVec(n, 13 + n, true);
+    scalar.sgd(w1.data(), g.data(), n, lr);
+    best.sgd(w2.data(), g.data(), n, lr);
+    ExpectBitwiseEqual(w1.data(), w2.data(), n, "sgd");
+
+    scalar.sgd_decay(w1.data(), g.data(), n, lr, wd);
+    best.sgd_decay(w2.data(), g.data(), n, lr, wd);
+    ExpectBitwiseEqual(w1.data(), w2.data(), n, "sgd_decay");
+
+    std::vector<float> m1 = RandomVec(n, 23 + n, false), m2 = m1;
+    scalar.momentum(w1.data(), g.data(), m1.data(), n, lr, mom, wd);
+    best.momentum(w2.data(), g.data(), m2.data(), n, lr, mom, wd);
+    ExpectBitwiseEqual(m1.data(), m2.data(), n, "momentum m");
+    ExpectBitwiseEqual(w1.data(), w2.data(), n, "momentum w");
+
+    std::vector<float> am1 = RandomVec(n, 31 + n, false), am2 = am1;
+    // Second moments must be non-negative, as Adam produces them.
+    std::vector<float> av1(n), av2(n);
+    for (int64_t i = 0; i < n; ++i) {
+      av1[i] = std::abs(RandomVec(1, 37 + n + i, false)[0]);
+      av2[i] = av1[i];
+    }
+    for (int step = 1; step <= 3; ++step) {
+      const double bc1 = 1.0 - std::pow(b1, step);
+      const double bc2 = 1.0 - std::pow(b2, step);
+      scalar.adam(w1.data(), g.data(), am1.data(), av1.data(), n, lr, b1, b2, eps,
+                  wd, bc1, bc2);
+      best.adam(w2.data(), g.data(), am2.data(), av2.data(), n, lr, b1, b2, eps,
+                wd, bc1, bc2);
+    }
+    ExpectBitwiseEqual(am1.data(), am2.data(), n, "adam m");
+    ExpectBitwiseEqual(av1.data(), av2.data(), n, "adam v");
+    ExpectBitwiseEqual(w1.data(), w2.data(), n, "adam w");
+  }
+}
+
+TEST(SimdKernelTest, OptimizerClassMatchesAcrossLevels) {
+  // Drive the real Optimizer through both dispatch levels.
+  for (OptimizerKind kind :
+       {OptimizerKind::kSgd, OptimizerKind::kMomentum, OptimizerKind::kAdam}) {
+    OptimizerConfig cfg;
+    cfg.kind = kind;
+    cfg.weight_decay = 1e-4;
+    Pcg32 rng(55);
+    DenseMatrix w_scalar = GenerateDense(9, 13, &rng);
+    DenseMatrix w_simd = w_scalar;
+    DenseMatrix g = GenerateDense(9, 13, &rng);
+
+    Optimizer opt_scalar(cfg), opt_simd(cfg);
+    opt_scalar.AddParameter(&w_scalar);
+    opt_simd.AddParameter(&w_simd);
+    for (int step = 0; step < 3; ++step) {
+      {
+        ScopedSimdLevel forced(SimdLevel::kScalar);
+        opt_scalar.Step({&g});
+      }
+      opt_simd.Step({&g});
+    }
+    ExpectBitwiseEqual(w_scalar, w_simd, "Optimizer::Step");
+  }
+}
+
+TEST(SimdIntegrationTest, EngineSpmmBitIdenticalScalarVsDispatched) {
+  Pcg32 rng(4242);
+  Graph g = RMat(10, 8000, 32, &rng);
+  CsrMatrix abar = GcnNormalized(g.adjacency);
+  DenseMatrix x(abar.cols(), 48, 0.5f);
+
+  DenseMatrix z_scalar, z_simd;
+  {
+    ScopedSimdLevel forced(SimdLevel::kScalar);
+    auto session = Runtime::Default()->OpenSession(
+        &abar, SessionOptions().set_dtype(DataType::kFp32));
+    ASSERT_TRUE(session->Multiply(x, &z_scalar, nullptr).ok());
+  }
+  {
+    auto session = Runtime::Default()->OpenSession(
+        &abar, SessionOptions().set_dtype(DataType::kFp32));
+    ASSERT_TRUE(session->Multiply(x, &z_simd, nullptr).ok());
+  }
+  ExpectBitwiseEqual(z_scalar, z_simd, "hcspmm session multiply");
+  // And against the (scalar) host reference, which never dispatches.
+  ExpectBitwiseEqual(ReferenceSpmm(abar, x), z_simd, "vs ReferenceSpmm");
+}
+
+TEST(SimdIntegrationTest, ShardedSpmmBitIdenticalScalarVsDispatched) {
+  Pcg32 rng(777);
+  Graph g = RMat(10, 6000, 16, &rng);
+  CsrMatrix abar = GcnNormalized(g.adjacency);
+  DenseMatrix x(abar.cols(), 33, 0.25f);  // non-multiple dim: tails in play
+
+  DenseMatrix z_scalar;
+  {
+    ScopedSimdLevel forced(SimdLevel::kScalar);
+    auto sharded = ShardedSession::Open(
+        Runtime::Default(), abar, SessionOptions().set_dtype(DataType::kFp32),
+        ShardingOptions());
+    ASSERT_TRUE(sharded->Multiply(x, &z_scalar, nullptr).ok());
+  }
+  for (int k : {1, 2, 4, 7}) {
+    ShardingOptions shards;
+    shards.num_shards = k;
+    auto sharded = ShardedSession::Open(
+        Runtime::Default(), abar, SessionOptions().set_dtype(DataType::kFp32),
+        shards);
+    DenseMatrix z;
+    ASSERT_TRUE(sharded->Multiply(x, &z, nullptr).ok());
+    ExpectBitwiseEqual(z_scalar, z, "sharded multiply");
+  }
+}
+
+TEST(SimdIntegrationTest, GcnAndGinTrainingBitIdenticalScalarVsDispatched) {
+  Pcg32 rng(33);
+  Graph g = MoleculeUnion(200, 800, 20, 12, &rng);
+  g.num_classes = 4;
+  for (int32_t v = 0; v < g.num_vertices; ++v) g.labels[v] = (v / 17) % 4;
+  AttachSyntheticFeatures(&g, &rng);
+
+  for (GnnModelKind kind : {GnnModelKind::kGcn, GnnModelKind::kGin}) {
+    GnnConfig cfg;
+    TrainStats scalar_stats, simd_stats;
+    {
+      ScopedSimdLevel forced(SimdLevel::kScalar);
+      scalar_stats =
+          TrainGnn(g, kind, "hcspmm", cfg, Rtx3090(), 3, DataType::kFp32);
+    }
+    simd_stats = TrainGnn(g, kind, "hcspmm", cfg, Rtx3090(), 3, DataType::kFp32);
+    ASSERT_EQ(scalar_stats.epochs.size(), simd_stats.epochs.size());
+    for (size_t e = 0; e < scalar_stats.epochs.size(); ++e) {
+      EXPECT_EQ(scalar_stats.epochs[e].loss, simd_stats.epochs[e].loss)
+          << "epoch " << e << " loss diverges between scalar and SIMD";
+      EXPECT_EQ(scalar_stats.epochs[e].accuracy, simd_stats.epochs[e].accuracy);
+    }
+    EXPECT_EQ(scalar_stats.final_loss, simd_stats.final_loss);
+    EXPECT_EQ(scalar_stats.final_accuracy, simd_stats.final_accuracy);
+  }
+}
+
+TEST(DenseMatrixAlignmentTest, StorageIs64ByteAligned) {
+  for (int32_t rows : {1, 3, 17}) {
+    for (int32_t cols : {1, 7, 16, 64, 100, 128}) {
+      DenseMatrix m(rows, cols, 1.0f);
+      const auto base = reinterpret_cast<uintptr_t>(m.RowData(0));
+      EXPECT_EQ(base % 64, 0u) << rows << "x" << cols;
+      if (cols % 16 == 0) {
+        // Leading dimension is cols, so every row start stays aligned for
+        // multiple-of-16 feature dims (the typical GNN configuration).
+        for (int32_t r = 0; r < rows; ++r) {
+          EXPECT_EQ(reinterpret_cast<uintptr_t>(m.RowData(r)) % 64, 0u)
+              << rows << "x" << cols << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcspmm
