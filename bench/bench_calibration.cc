@@ -1,0 +1,104 @@
+// Cost-model calibration exhibit: run the fast sweep + fit end to end,
+// wall-clock each stage, and report the quality metrics the CI gate reads —
+// selector routing accuracy on the held-out cells, the fitted crossover
+// sparsity for the paper's 16x32 / D=32 window (Fig. 1a: ~83%), and the
+// fitted-vs-hand-set mean relative error of both cost paths. Exits non-zero
+// when routing accuracy drops below 0.90 or the crossover leaves the locked
+// [0.78, 0.88] band (the bounds of gpusim_test's CrossoverNearPaperSparsity),
+// so the bench doubles as a smoke gate; `--json out.json` emits the CI
+// artifact.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "calib/calibration.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace hcspmm;
+using namespace hcspmm::bench;
+
+namespace {
+
+constexpr double kMinRoutingAccuracy = 0.90;
+constexpr double kCrossoverLo = 0.78;
+constexpr double kCrossoverHi = 0.88;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonOutputPath(argc, argv);
+
+  PrintTitle("Cost-model calibration: sweep + fit (fast grid)");
+  const CalibrationConfig config = CalibrationConfig::Fast();
+
+  WallTimer sweep_timer;
+  const std::vector<CalibrationSample> samples =
+      RunCalibrationSweep(nullptr, config);
+  const double sweep_ms = sweep_timer.ElapsedMs();
+  HCSPMM_CHECK(!samples.empty()) << "empty calibration sweep";
+
+  WallTimer fit_timer;
+  const CalibratedCostModel model = FitCalibratedModel(samples, config);
+  const double fit_ms = fit_timer.ElapsedMs();
+  const CalibrationMetrics& m = model.metrics;
+
+  // The JSON artifact must reload into an identical predictor; a round-trip
+  // drift here would invalidate every consumer of the committed model.
+  const auto reloaded = CalibratedCostModel::FromJson(model.ToJson());
+  HCSPMM_CHECK_OK(reloaded.status());
+  const bool roundtrip_exact = reloaded.ValueOrDie().ToJson() == model.ToJson();
+
+  std::printf("  device: %s, %lld samples (%lld held out)\n",
+              model.device_name.c_str(), static_cast<long long>(m.num_samples),
+              static_cast<long long>(m.holdout_samples));
+  PrintTable(
+      {"metric", "value"},
+      {{"sweep ms", FormatDouble(sweep_ms, 1)},
+       {"fit ms", FormatDouble(fit_ms, 1)},
+       {"routing accuracy (holdout)", FormatDouble(m.routing_accuracy, 4)},
+       {"train accuracy", FormatDouble(m.train_accuracy, 4)},
+       {"crossover sparsity", FormatDouble(m.crossover_sparsity, 3)},
+       {"fitted MRE cuda", FormatDouble(m.fitted_mre_cuda, 4)},
+       {"hand-set MRE cuda", FormatDouble(m.handset_mre_cuda, 4)},
+       {"fitted MRE tensor", FormatDouble(m.fitted_mre_tensor, 4)},
+       {"hand-set MRE tensor", FormatDouble(m.handset_mre_tensor, 4)},
+       {"json round-trip exact", roundtrip_exact ? "yes" : "NO"}});
+  PrintNote("paper Fig. 1a puts the 16x32 / D=32 crossover near 83% sparsity");
+
+  if (!json_path.empty()) {
+    const std::string report = JsonObject(
+        {JsonField("bench", std::string("calibration")),
+         JsonField("device", model.device_name),
+         JsonField("num_samples", m.num_samples),
+         JsonField("holdout_samples", m.holdout_samples),
+         JsonField("sweep_ms", sweep_ms), JsonField("fit_ms", fit_ms),
+         JsonField("routing_accuracy", m.routing_accuracy),
+         JsonField("train_accuracy", m.train_accuracy),
+         JsonField("crossover_sparsity", m.crossover_sparsity),
+         JsonField("fitted_mre_cuda", m.fitted_mre_cuda),
+         JsonField("fitted_mre_tensor", m.fitted_mre_tensor),
+         JsonField("handset_mre_cuda", m.handset_mre_cuda),
+         JsonField("handset_mre_tensor", m.handset_mre_tensor),
+         JsonField("json_roundtrip_exact", roundtrip_exact)});
+    HCSPMM_CHECK(WriteTextFile(json_path, report)) << "cannot write " << json_path;
+    std::printf("\n  wrote %s\n", json_path.c_str());
+  }
+
+  bool ok = true;
+  if (m.routing_accuracy < kMinRoutingAccuracy) {
+    std::fprintf(stderr, "FAIL: routing accuracy %.4f < %.2f\n",
+                 m.routing_accuracy, kMinRoutingAccuracy);
+    ok = false;
+  }
+  if (m.crossover_sparsity < kCrossoverLo || m.crossover_sparsity > kCrossoverHi) {
+    std::fprintf(stderr, "FAIL: crossover sparsity %.3f outside [%.2f, %.2f]\n",
+                 m.crossover_sparsity, kCrossoverLo, kCrossoverHi);
+    ok = false;
+  }
+  if (!roundtrip_exact) {
+    std::fprintf(stderr, "FAIL: JSON round-trip not bit-exact\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

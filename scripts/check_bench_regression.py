@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
 """Perf gate: fail when a bench run regresses vs. its committed baseline.
 
-Compares the `points` of a bench JSON artifact (bench_parallel_scaling
---json schema) against the committed baseline by thread count and fails
-when any point's wall-clock exceeds baseline * (1 + --max-regression).
-Also re-checks the bit_identical flags so a corrupt artifact cannot pass
-vacuously.
+Two invocation modes:
+
+  check_bench_regression.py BASELINE.json CURRENT.json
+      Compare one artifact pair (the original parallel_scaling contract).
+
+  check_bench_regression.py --baseline-dir bench/baselines --current-dir bench-artifacts
+      Iterate every committed baseline, matching each to a current artifact
+      by the report's top-level "bench" name (filenames may differ between
+      the committed baselines and the CI artifact directory), and gate all
+      of them in one pass.
+
+Each bench's points are keyed and timed per BENCH_RULES below. A point
+fails when its wall-clock exceeds baseline * (1 + --max-regression) or its
+bit_identical flag is false (so a corrupt artifact cannot pass vacuously).
 
 Wall-clock gates across machines are inherently noisy; the threshold is
 deliberately generous (default 25%) and can be widened per-run via
@@ -18,21 +27,113 @@ import json
 import os
 import sys
 
+# Per-bench artifact schema: which point fields form the identity key and
+# which field carries the gated wall-clock. Benches absent from this table
+# are compared structurally only (bit_identical), never on time.
+BENCH_RULES = {
+    "parallel_scaling": {"key": ("threads",), "time": "ms"},
+    "sharding": {"key": ("num_shards",), "time": "sync_ms"},
+    "simd": {"key": ("op", "dim"), "time": "simd_ms"},
+}
 
-def load_points(path):
+
+def load_report(path):
     with open(path) as f:
         report = json.load(f)
-    points = {p["threads"]: p for p in report.get("points", [])}
-    if not points:
+    if not report.get("points"):
         print(f"::error::{path} has no points")
         sys.exit(1)
-    return points
+    return report
+
+
+def point_key(point, fields):
+    try:
+        return tuple(point[f] for f in fields)
+    except KeyError as missing:
+        print(f"::error::point is missing key field {missing}")
+        sys.exit(1)
+
+
+def check_pair(name, baseline, current, max_regression):
+    """Gate one baseline/current report pair; returns the failure count."""
+    rule = BENCH_RULES.get(name)
+    if rule is None:
+        print(f"::warning::no gating rule for bench '{name}'; "
+              "checking bit_identical flags only")
+        key_fields, time_field = None, None
+    else:
+        key_fields, time_field = rule["key"], rule["time"]
+
+    if key_fields is not None:
+        current_points = {
+            point_key(p, key_fields): p for p in current["points"]
+        }
+    failures = 0
+    for base_point in baseline["points"]:
+        if key_fields is None:
+            continue
+        key = point_key(base_point, key_fields)
+        label = f"{name} {dict(zip(key_fields, key))}"
+        cur_point = current_points.get(key)
+        if cur_point is None:
+            print(f"::error::current run is missing point {label}")
+            failures += 1
+            continue
+        if "bit_identical" in base_point and not cur_point.get(
+            "bit_identical", False
+        ):
+            print(f"::error::{label} is not bit-identical")
+            failures += 1
+        base_ms = base_point[time_field]
+        cur_ms = cur_point[time_field]
+        limit = base_ms * (1.0 + max_regression)
+        verdict = "OK" if cur_ms <= limit else "REGRESSION"
+        print(
+            f"{label}: baseline {base_ms:.3f} ms, "
+            f"current {cur_ms:.3f} ms, limit {limit:.3f} ms -> {verdict}"
+        )
+        if cur_ms > limit:
+            print(
+                f"::error::{label} wall-clock regressed "
+                f"{(cur_ms / base_ms - 1.0) * 100.0:.1f}% "
+                f"(> {max_regression * 100.0:.0f}% allowed)"
+            )
+            failures += 1
+    return failures
+
+
+def index_by_bench(directory):
+    """Map report['bench'] -> report for every .json in the directory."""
+    reports = {}
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(directory, entry)
+        report = load_report(path)
+        name = report.get("bench")
+        if not name:
+            print(f"::error::{path} has no top-level 'bench' name")
+            sys.exit(1)
+        if name in reports:
+            print(f"::error::duplicate bench '{name}' in {directory}")
+            sys.exit(1)
+        reports[name] = report
+    if not reports:
+        print(f"::error::no bench JSON files in {directory}")
+        sys.exit(1)
+    return reports
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="freshly measured JSON")
+    parser.add_argument(
+        "--baseline-dir", help="directory of committed baseline JSONs"
+    )
+    parser.add_argument(
+        "--current-dir", help="directory of freshly measured JSONs"
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -41,34 +142,30 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_points(args.baseline)
-    current = load_points(args.current)
+    dir_mode = args.baseline_dir is not None or args.current_dir is not None
+    if dir_mode:
+        if not (args.baseline_dir and args.current_dir):
+            parser.error("--baseline-dir and --current-dir must be used together")
+        if args.baseline or args.current:
+            parser.error("positional paths conflict with directory mode")
+        baselines = index_by_bench(args.baseline_dir)
+        currents = index_by_bench(args.current_dir)
+        failures = 0
+        for name, baseline in sorted(baselines.items()):
+            current = currents.get(name)
+            if current is None:
+                print(f"::error::no current artifact for bench '{name}'")
+                failures += 1
+                continue
+            failures += check_pair(name, baseline, current, args.max_regression)
+        sys.exit(1 if failures else 0)
 
-    failures = 0
-    for threads, base_point in sorted(baseline.items()):
-        cur_point = current.get(threads)
-        if cur_point is None:
-            print(f"::error::current run is missing the {threads}-thread point")
-            failures += 1
-            continue
-        if not cur_point.get("bit_identical", False):
-            print(f"::error::{threads}-thread point is not bit-identical")
-            failures += 1
-        base_ms, cur_ms = base_point["ms"], cur_point["ms"]
-        limit = base_ms * (1.0 + args.max_regression)
-        verdict = "OK" if cur_ms <= limit else "REGRESSION"
-        print(
-            f"threads={threads}: baseline {base_ms:.2f} ms, "
-            f"current {cur_ms:.2f} ms, limit {limit:.2f} ms -> {verdict}"
-        )
-        if cur_ms > limit:
-            print(
-                f"::error::{threads}-thread wall-clock regressed "
-                f"{(cur_ms / base_ms - 1.0) * 100.0:.1f}% "
-                f"(> {args.max_regression * 100.0:.0f}% allowed)"
-            )
-            failures += 1
-
+    if not (args.baseline and args.current):
+        parser.error("either two positional paths or the --*-dir pair required")
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    name = baseline.get("bench", "parallel_scaling")
+    failures = check_pair(name, baseline, current, args.max_regression)
     sys.exit(1 if failures else 0)
 
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Calibration gate: fail CI when the fitted cost model routes badly.
+
+Reads the calibrated_model.json artifact emitted by hcspmm_calibrate (and
+optionally its calibration.csv) and fails when:
+
+  * selector routing accuracy on the held-out sweep cells drops below
+    --min-accuracy (default 0.90, the paper-level routing quality), or
+  * the fitted crossover sparsity for the paper's 16x32 / D=32 window
+    drifts more than --crossover-tol from the ~83% of Fig. 1a, or
+  * the fitted coefficients predict *worse* than the hand-set constants
+    they are meant to replace (mean relative error, either core path), or
+  * the CSV exists but is truncated (fewer data rows than the model's
+    num_samples claims).
+
+The sweep is simulated and PCG-seeded, so these metrics are deterministic:
+a failure is a real behavior change in the cost model, the selector
+training, or the sweep itself — never runner noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"::error::{message}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("model_json", help="calibrated_model.json artifact")
+    parser.add_argument(
+        "--csv", help="calibration.csv artifact (row-count sanity check)"
+    )
+    parser.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=0.90,
+        help="minimum held-out routing accuracy (default 0.90)",
+    )
+    parser.add_argument(
+        "--crossover-center",
+        type=float,
+        default=0.83,
+        help="expected crossover sparsity for the 16x32 / D=32 window",
+    )
+    parser.add_argument(
+        "--crossover-tol",
+        type=float,
+        default=0.05,
+        help="allowed |crossover - center| drift (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    with open(args.model_json) as f:
+        model = json.load(f)
+    if model.get("schema") != "hcspmm-calibrated-model-v1":
+        return fail(f"unknown model schema {model.get('schema')!r}")
+
+    failures = 0
+
+    accuracy = model["routing_accuracy"]
+    holdout = model["holdout_samples"]
+    print(
+        f"routing accuracy: {accuracy:.4f} on {holdout} held-out cells "
+        f"(gate: >= {args.min_accuracy:.2f})"
+    )
+    if holdout <= 0:
+        failures += fail("no held-out cells; routing accuracy is meaningless")
+    if accuracy < args.min_accuracy:
+        failures += fail(
+            f"routing accuracy {accuracy:.4f} < {args.min_accuracy:.2f}"
+        )
+
+    crossover = model["crossover_sparsity"]
+    drift = abs(crossover - args.crossover_center)
+    print(
+        f"crossover sparsity: {crossover:.3f} "
+        f"(gate: within {args.crossover_tol:.2f} of {args.crossover_center:.2f})"
+    )
+    if drift > args.crossover_tol:
+        failures += fail(
+            f"crossover sparsity {crossover:.3f} drifted {drift:.3f} "
+            f"from {args.crossover_center:.2f} (> {args.crossover_tol:.2f})"
+        )
+
+    for path in ("cuda", "tensor"):
+        fitted = model[f"fitted_mre_{path}"]
+        handset = model[f"handset_mre_{path}"]
+        print(f"{path} cost MRE: fitted {fitted:.4f}, hand-set {handset:.4f}")
+        if fitted > handset:
+            failures += fail(
+                f"fitted {path} coefficients predict worse than the "
+                f"hand-set constants ({fitted:.4f} > {handset:.4f})"
+            )
+
+    if args.csv:
+        with open(args.csv) as f:
+            rows = sum(1 for _ in f) - 1  # minus header
+        expected = model["num_samples"]
+        print(f"csv rows: {rows} (model claims {expected})")
+        if rows < expected:
+            failures += fail(
+                f"calibration.csv has {rows} rows but the model was fitted "
+                f"on {expected} samples"
+            )
+
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

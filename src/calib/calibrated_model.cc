@@ -1,0 +1,258 @@
+#include "calib/calibrated_model.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hcspmm {
+
+namespace {
+
+double Dot(const CalibFeatures& coeffs, const CalibFeatures& feats) {
+  double sum = 0.0;
+  for (int i = 0; i < kCalibFeatureCount; ++i) sum += coeffs[i] * feats[i];
+  return sum;
+}
+
+// ---- JSON helpers -----------------------------------------------------------
+// The artifact layout is flat (top-level keys plus arrays of numbers), so a
+// tiny purpose-built reader suffices; no external JSON dependency exists in
+// this repo. %.17g emission makes double round-trips bit-exact.
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonCoeffs(const CalibFeatures& c) {
+  std::string out = "[";
+  for (int i = 0; i < kCalibFeatureCount; ++i) {
+    if (i > 0) out += ", ";
+    out += JsonDouble(c[i]);
+  }
+  return out + "]";
+}
+
+// Position just past `"key":` (skipping whitespace), or npos.
+size_t FindValue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  pos += needle.size();
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == ':' ||
+                               json[pos] == '\t' || json[pos] == '\n')) {
+    if (json[pos] == ':') {
+      ++pos;
+      while (pos < json.size() &&
+             (json[pos] == ' ' || json[pos] == '\t' || json[pos] == '\n')) {
+        ++pos;
+      }
+      return pos;
+    }
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+bool ParseDoubleField(const std::string& json, const std::string& key, double* out) {
+  const size_t pos = FindValue(json, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtod(json.c_str() + pos, &end);
+  return end != json.c_str() + pos;
+}
+
+bool ParseIntField(const std::string& json, const std::string& key, int64_t* out) {
+  double v = 0.0;
+  if (!ParseDoubleField(json, key, &v)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUintField(const std::string& json, const std::string& key, uint64_t* out) {
+  const size_t pos = FindValue(json, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtoull(json.c_str() + pos, &end, 10);
+  return end != json.c_str() + pos;
+}
+
+bool ParseStringField(const std::string& json, const std::string& key,
+                      std::string* out) {
+  size_t pos = FindValue(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '"') {
+    return false;
+  }
+  const size_t close = json.find('"', pos + 1);
+  if (close == std::string::npos) return false;
+  *out = json.substr(pos + 1, close - pos - 1);
+  return true;
+}
+
+bool ParseCoeffsField(const std::string& json, const std::string& key,
+                      CalibFeatures* out) {
+  size_t pos = FindValue(json, key);
+  if (pos == std::string::npos || pos >= json.size() || json[pos] != '[') {
+    return false;
+  }
+  const char* p = json.c_str() + pos + 1;
+  for (int i = 0; i < kCalibFeatureCount; ++i) {
+    char* end = nullptr;
+    (*out)[i] = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    while (*p == ' ' || *p == ',') ++p;
+  }
+  return *p == ']';
+}
+
+}  // namespace
+
+CalibFeatures CudaCostFeatures(const WindowShape& w, DataType dtype) {
+  // The deployed kernel is generalized (adaptive 8-lane mapping), so the
+  // effective dimension rounds to 8; iters and dim_words mirror
+  // CudaWindowCost exactly.
+  const int32_t dim_eff = ((w.dim + 7) / 8) * 8;
+  const double iters = static_cast<double>(w.nnz) * dim_eff / 32.0;
+  const double dim_words = dim_eff / 32.0;
+  const double miss = CudaCacheMissFraction(w, dtype);
+  return {1.0, iters, static_cast<double>(w.unique_cols) * dim_words,
+          iters * miss};
+}
+
+CalibFeatures TensorCostFeatures(const WindowShape& w, DataType dtype) {
+  const int32_t tile = WmmaColTile(dtype);
+  const int32_t col_tiles = (w.unique_cols + tile - 1) / tile;
+  const int32_t dim_tiles = (w.dim + 15) / 16;
+  const double mma_tiles = static_cast<double>(col_tiles) * dim_tiles;
+  const double x_bytes = static_cast<double>(col_tiles) * tile * w.dim *
+                         DataTypeBytes(dtype);
+  return {1.0, mma_tiles, static_cast<double>(w.nnz), x_bytes};
+}
+
+double CalibratedCostModel::PredictCudaNs(const WindowShape& w) const {
+  if (w.nnz == 0) return 0.0;
+  return Dot(cuda_coeffs, CudaCostFeatures(w, dtype));
+}
+
+double CalibratedCostModel::PredictTensorNs(const WindowShape& w) const {
+  if (w.nnz == 0) return 0.0;
+  return Dot(tensor_coeffs, TensorCostFeatures(w, dtype));
+}
+
+double CalibratedCostModel::PredictRoutedNs(const WindowShape& w) const {
+  if (w.nnz == 0) return 0.0;
+  const double cuda = PredictCudaNs(w);
+  const double tensor = PredictTensorNs(w);
+  return cuda < tensor ? cuda : tensor;
+}
+
+double CalibratedCostModel::CrossoverSparsity(int32_t dim, int32_t cols) const {
+  const double cells = 16.0 * cols;
+  for (double s = 0.70; s <= 0.95; s += 0.005) {
+    WindowShape w;
+    w.rows = 16;
+    w.dim = dim;
+    w.nnz = static_cast<int64_t>((1.0 - s) * cells);
+    w.unique_cols = cols;
+    w.col_span = 0;      // Fig. 1 conditions: fully cache-resident
+    w.matrix_cols = 0;
+    w.max_row_nnz = (w.nnz + 15) / 16;
+    if (w.nnz <= 0) break;
+    if (PredictCudaNs(w) < PredictTensorNs(w)) return s;
+  }
+  return -1.0;
+}
+
+std::string CalibratedCostModel::ToJson() const {
+  std::string out = "{";
+  out += "\"schema\": \"" + schema + "\"";
+  out += ", \"device\": \"" + device_name + "\"";
+  out += ", \"device_params\": " + std::to_string(device_params);
+  out += ", \"dtype\": \"" + std::string(DataTypeName(dtype)) + "\"";
+  out += ", \"seed\": " + std::to_string(seed);
+  out += ", \"cuda_coeffs\": " + JsonCoeffs(cuda_coeffs);
+  out += ", \"tensor_coeffs\": " + JsonCoeffs(tensor_coeffs);
+  out += ", \"selector_w_sparsity\": " + JsonDouble(selector.w_sparsity);
+  out += ", \"selector_w_cols\": " + JsonDouble(selector.w_cols);
+  out += ", \"selector_bias\": " + JsonDouble(selector.bias);
+  out += ", \"num_samples\": " + std::to_string(metrics.num_samples);
+  out += ", \"holdout_samples\": " + std::to_string(metrics.holdout_samples);
+  out += ", \"cuda_labeled\": " + std::to_string(metrics.cuda_labeled);
+  out += ", \"train_accuracy\": " + JsonDouble(metrics.train_accuracy);
+  out += ", \"routing_accuracy\": " + JsonDouble(metrics.routing_accuracy);
+  out += ", \"crossover_sparsity\": " + JsonDouble(metrics.crossover_sparsity);
+  out += ", \"fitted_mre_cuda\": " + JsonDouble(metrics.fitted_mre_cuda);
+  out += ", \"fitted_mre_tensor\": " + JsonDouble(metrics.fitted_mre_tensor);
+  out += ", \"handset_mre_cuda\": " + JsonDouble(metrics.handset_mre_cuda);
+  out += ", \"handset_mre_tensor\": " + JsonDouble(metrics.handset_mre_tensor);
+  out += "}";
+  return out;
+}
+
+Result<CalibratedCostModel> CalibratedCostModel::FromJson(const std::string& json) {
+  CalibratedCostModel m;
+  std::string schema;
+  if (!ParseStringField(json, "schema", &schema)) {
+    return Status::InvalidArgument("calibrated model JSON: missing \"schema\"");
+  }
+  if (schema != m.schema) {
+    return Status::InvalidArgument("calibrated model JSON: unknown schema '" +
+                                   schema + "'");
+  }
+  std::string dtype_name;
+  if (!ParseStringField(json, "device", &m.device_name) ||
+      !ParseUintField(json, "device_params", &m.device_params) ||
+      !ParseStringField(json, "dtype", &dtype_name) ||
+      !ParseUintField(json, "seed", &m.seed) ||
+      !ParseCoeffsField(json, "cuda_coeffs", &m.cuda_coeffs) ||
+      !ParseCoeffsField(json, "tensor_coeffs", &m.tensor_coeffs) ||
+      !ParseDoubleField(json, "selector_w_sparsity", &m.selector.w_sparsity) ||
+      !ParseDoubleField(json, "selector_w_cols", &m.selector.w_cols) ||
+      !ParseDoubleField(json, "selector_bias", &m.selector.bias)) {
+    return Status::InvalidArgument(
+        "calibrated model JSON: missing or malformed coefficient fields");
+  }
+  for (DataType t : {DataType::kTf32, DataType::kFp16, DataType::kBf16,
+                     DataType::kFp32}) {
+    if (dtype_name == DataTypeName(t)) m.dtype = t;
+  }
+  CalibrationMetrics& mm = m.metrics;
+  if (!ParseIntField(json, "num_samples", &mm.num_samples) ||
+      !ParseIntField(json, "holdout_samples", &mm.holdout_samples) ||
+      !ParseIntField(json, "cuda_labeled", &mm.cuda_labeled) ||
+      !ParseDoubleField(json, "train_accuracy", &mm.train_accuracy) ||
+      !ParseDoubleField(json, "routing_accuracy", &mm.routing_accuracy) ||
+      !ParseDoubleField(json, "crossover_sparsity", &mm.crossover_sparsity) ||
+      !ParseDoubleField(json, "fitted_mre_cuda", &mm.fitted_mre_cuda) ||
+      !ParseDoubleField(json, "fitted_mre_tensor", &mm.fitted_mre_tensor) ||
+      !ParseDoubleField(json, "handset_mre_cuda", &mm.handset_mre_cuda) ||
+      !ParseDoubleField(json, "handset_mre_tensor", &mm.handset_mre_tensor)) {
+    return Status::InvalidArgument(
+        "calibrated model JSON: missing or malformed metric fields");
+  }
+  return m;
+}
+
+Status CalibratedCostModel::SaveJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+  const std::string json = ToJson();
+  const bool ok = std::fputs(json.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !ok) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CalibratedCostModel> CalibratedCostModel::LoadJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return FromJson(content);
+}
+
+}  // namespace hcspmm

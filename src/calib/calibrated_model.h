@@ -1,0 +1,111 @@
+// Calibrated cost model: the measured replacement for the hand-set
+// constants in gpusim/cost_model.h. A CalibratedCostModel is the artifact
+// the calibration pipeline (src/calib/calibration.h) emits — per-core-path
+// linear coefficients fitted by least squares on what the simulator
+// actually measures through Session/Runtime, the retrained logistic
+// selector, and the routing-accuracy / crossover metadata CI gates on.
+//
+// The model is linear in closed-form window features (the same quantities
+// the analytic cost model is built from), so prediction stays a handful of
+// multiply-adds per window:
+//   cuda_ns   = c0 + c1*iters + c2*unique_cols*dim_words + c3*iters*miss
+//   tensor_ns = t0 + t1*mma_tiles + t2*nnz + t3*x_fragment_bytes
+// The intercepts capture fixed per-launch cost (pipeline ramp) that the
+// hand-set constants structurally cannot express — which is why the fitted
+// model beats them on mean relative error (asserted in tests/calib_test.cc).
+//
+// JSON save/load round-trips bit-exactly (%.17g emission), so a model
+// loaded from `calibrated_model.json` predicts and routes identically to
+// the freshly fitted one. Mirrors the artifact-centric shape of Hyrise's
+// cost_model_calibration_lib.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/core_selector.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/device.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// Number of features (incl. intercept) per core path.
+inline constexpr int kCalibFeatureCount = 4;
+
+using CalibFeatures = std::array<double, kCalibFeatureCount>;
+
+/// Closed-form CUDA-path features of one window: {1, iters,
+/// unique_cols*dim_words, iters*cache_miss_fraction} with iters and
+/// dim_words at the deployed kernel's generalized 8-lane granularity.
+CalibFeatures CudaCostFeatures(const WindowShape& w, DataType dtype);
+
+/// Closed-form Tensor-path features of one window: {1, mma_tiles, nnz,
+/// x_fragment_bytes} for the dtype's WMMA tiling.
+CalibFeatures TensorCostFeatures(const WindowShape& w, DataType dtype);
+
+/// Fit quality and routing metrics recorded alongside the coefficients; the
+/// CI gate (scripts/check_calibration.py) reads these from the JSON.
+struct CalibrationMetrics {
+  int64_t num_samples = 0;       ///< total sweep cells measured
+  int64_t holdout_samples = 0;   ///< cells excluded from fitting/training
+  int64_t cuda_labeled = 0;      ///< cells where the CUDA path measured faster
+  double train_accuracy = 0.0;   ///< selector accuracy on the fitted cells
+  double routing_accuracy = 0.0; ///< selector accuracy on held-out cells
+  /// Sparsity where the fitted curves cross for the paper's 16x32 / D=32
+  /// window (Fig. 1a reports ~83%); the CI gate bounds its drift.
+  double crossover_sparsity = 0.0;
+  // Mean relative error of predicted vs measured cost over the sweep:
+  // the fitted coefficients next to the hand-set constants they replace.
+  double fitted_mre_cuda = 0.0;
+  double fitted_mre_tensor = 0.0;
+  double handset_mre_cuda = 0.0;
+  double handset_mre_tensor = 0.0;
+};
+
+/// \brief Measured per-window cost predictor + retrained core selector.
+struct CalibratedCostModel {
+  /// Artifact schema identifier (bumped on layout changes).
+  std::string schema = "hcspmm-calibrated-model-v1";
+
+  // Provenance: the simulated device and sweep the fit came from.
+  std::string device_name;
+  uint64_t device_params = 0;  ///< FingerprintDeviceParams at fit time
+  DataType dtype = DataType::kTf32;
+  uint64_t seed = 0;
+
+  CalibFeatures cuda_coeffs{};    ///< ns per CudaCostFeatures
+  CalibFeatures tensor_coeffs{};  ///< ns per TensorCostFeatures
+  SelectorModel selector;         ///< retrained logistic core selector
+
+  CalibrationMetrics metrics;
+
+  /// Predicted kernel-body time (ns) of one window on the CUDA path.
+  double PredictCudaNs(const WindowShape& w) const;
+  /// Predicted kernel-body time (ns) of one window on the Tensor path.
+  double PredictTensorNs(const WindowShape& w) const;
+  /// Predicted time under the cheaper path (cost-driven routing/placement).
+  double PredictRoutedNs(const WindowShape& w) const;
+  /// Core choice by predicted cost (ties go to CUDA, like the labeling).
+  CoreType Route(const WindowShape& w) const {
+    return PredictCudaNs(w) <= PredictTensorNs(w) ? CoreType::kCudaCore
+                                                  : CoreType::kTensorCore;
+  }
+
+  /// Sparsity in [0.70, 0.95] where the predicted CUDA cost first drops
+  /// below the Tensor cost for a full 16-row window of `cols` columns
+  /// (Fig. 1a conditions: cache-resident, unique_cols == cols). Returns -1
+  /// when the curves never cross in the band.
+  double CrossoverSparsity(int32_t dim = 32, int32_t cols = 32) const;
+
+  /// Flat JSON rendering; doubles use %.17g so a save/load/save cycle is
+  /// byte-identical.
+  std::string ToJson() const;
+  static Result<CalibratedCostModel> FromJson(const std::string& json);
+
+  Status SaveJsonFile(const std::string& path) const;
+  static Result<CalibratedCostModel> LoadJsonFile(const std::string& path);
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,262 @@
+#include "calib/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/row_window.h"
+#include "exec/plan_cache.h"
+#include "kernels/cuda_optimized.h"
+#include "kernels/tensor_optimized.h"
+#include "ml/logistic_regression.h"
+#include "runtime/runtime.h"
+#include "sparse/generate.h"
+#include "util/random.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Solve (X'X + ridge*diag) beta = X'y by Gaussian elimination with partial
+// pivoting. The tiny scale-aware ridge keeps the system solvable when two
+// features are collinear over the sweep (e.g. mma_tiles and fragment bytes
+// are proportional whenever every swept dim is a multiple of 16); the
+// absorbed split predicts identically on same-ratio shapes.
+CalibFeatures SolveLeastSquares(const std::vector<CalibFeatures>& xs,
+                                const std::vector<double>& ys) {
+  constexpr int n = kCalibFeatureCount;
+  double a[n][n] = {};
+  double b[n] = {};
+  for (size_t s = 0; s < xs.size(); ++s) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) a[i][j] += xs[s][i] * xs[s][j];
+      b[i] += xs[s][i] * ys[s];
+    }
+  }
+  for (int i = 0; i < n; ++i) a[i][i] += 1e-9 * (a[i][i] + 1.0);
+
+  int perm[n];
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(perm[col], perm[pivot]);
+    for (int j = 0; j < n; ++j) std::swap(a[col][j], a[pivot][j]);
+    std::swap(b[col], b[pivot]);
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (int j = col; j < n; ++j) a[r][j] -= f * a[col][j];
+      b[r] -= f * b[col];
+    }
+  }
+  CalibFeatures beta{};
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    for (int j = i + 1; j < n; ++j) sum -= a[i][j] * beta[j];
+    beta[i] = sum / a[i][i];
+  }
+  return beta;
+}
+
+double MeanRelativeError(const std::vector<double>& predicted,
+                         const std::vector<double>& measured) {
+  if (measured.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    if (measured[i] > 0.0) sum += std::fabs(predicted[i] - measured[i]) / measured[i];
+  }
+  return sum / static_cast<double>(measured.size());
+}
+
+// Measure one cell's kernel-body time through a Session bound to `kernel` on
+// the sweep device. The session borrows `m` only for the call's duration.
+double MeasureKernelNs(Runtime* rt, const CsrMatrix& m, const std::string& kernel,
+                       int32_t dim, const CalibrationConfig& cfg) {
+  std::shared_ptr<Session> session =
+      rt->OpenSession(&m, SessionOptions()
+                              .set_kernel(kernel)
+                              .set_device(cfg.device)
+                              .set_dtype(cfg.dtype)
+                              .set_num_threads(1)
+                              .set_num_streams(1));
+  DenseMatrix x(m.cols(), dim, 0.5f);
+  DenseMatrix z;
+  KernelProfile profile;
+  const Status st = session->Multiply(x, &z, &profile);
+  return st.ok() ? profile.time_ns : -1.0;
+}
+
+}  // namespace
+
+CalibrationConfig CalibrationConfig::Fast() {
+  CalibrationConfig cfg;
+  cfg.dims = {32};
+  cfg.col_step = 6;
+  cfg.repeats = 1;
+  return cfg;
+}
+
+std::vector<CalibrationSample> RunCalibrationSweep(Runtime* runtime,
+                                                   const CalibrationConfig& config) {
+  Runtime* rt = runtime != nullptr ? runtime : Runtime::Default();
+  Pcg32 rng(config.seed);
+
+  // The paper's 15 coarse sparsity levels plus the refinement band around
+  // the Fig. 1a crossover (same densification rationale as
+  // TrainCoreSelector: 1/16-spaced labels cannot resolve the boundary).
+  std::vector<double> sparsities;
+  for (int32_t level = 1; level <= config.sparsity_levels; ++level) {
+    sparsities.push_back(static_cast<double>(level) / 16.0);
+  }
+  for (double s = 0.77; s <= 0.915; s += 0.02) sparsities.push_back(s);
+
+  std::vector<CalibrationSample> samples;
+  int64_t cell = 0;
+  for (int32_t dim : config.dims) {
+    for (int32_t cols = 1; cols <= config.max_cols; cols += config.col_step) {
+      for (double sparsity : sparsities) {
+        const int64_t nnz =
+            static_cast<int64_t>((1.0 - sparsity) * 16.0 * cols + 0.5);
+        for (int32_t rep = 0; rep < config.repeats; ++rep) {
+          CsrMatrix m = GenerateRowWindowMatrix(16, cols, nnz, &rng);
+          WindowedCsr windows = BuildWindows(m);
+          if (windows.windows.empty() || windows.windows[0].nnz == 0) continue;
+          const RowWindow& w = windows.windows[0];
+
+          CalibrationSample sample;
+          sample.shape = w.Shape(dim);
+          sample.sparsity = w.Sparsity();
+          sample.cuda_ns = MeasureKernelNs(rt, m, "cuda_opt", dim, config);
+          sample.tensor_ns = MeasureKernelNs(rt, m, "tensor_opt", dim, config);
+          if (sample.cuda_ns < 0.0 || sample.tensor_ns < 0.0) continue;
+          sample.holdout = config.holdout_every > 1 &&
+                           (cell % config.holdout_every) == config.holdout_every - 1;
+          ++cell;
+          samples.push_back(sample);
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+CalibratedCostModel FitCalibratedModel(const std::vector<CalibrationSample>& samples,
+                                       const CalibrationConfig& config) {
+  CalibratedCostModel model;
+  model.device_name = config.device.name;
+  model.device_params = FingerprintDeviceParams(config.device);
+  model.dtype = config.dtype;
+  model.seed = config.seed;
+
+  // ---- Cost coefficients: ridge LSQ on the non-holdout cells ----
+  std::vector<CalibFeatures> cuda_x, tensor_x;
+  std::vector<double> cuda_y, tensor_y;
+  std::vector<LrSample> train;
+  for (const CalibrationSample& s : samples) {
+    if (s.holdout) continue;
+    cuda_x.push_back(CudaCostFeatures(s.shape, config.dtype));
+    cuda_y.push_back(s.cuda_ns);
+    tensor_x.push_back(TensorCostFeatures(s.shape, config.dtype));
+    tensor_y.push_back(s.tensor_ns);
+    LrSample lr;
+    lr.x1 = s.sparsity;
+    lr.x2 = static_cast<double>(s.shape.unique_cols);
+    lr.label = s.label();
+    train.push_back(lr);
+  }
+  if (!cuda_x.empty()) {
+    model.cuda_coeffs = SolveLeastSquares(cuda_x, cuda_y);
+    model.tensor_coeffs = SolveLeastSquares(tensor_x, tensor_y);
+  }
+
+  // ---- Selector retraining (the SS IV-C logistic regression) ----
+  LogisticRegression lr;
+  if (!train.empty()) lr.Train(train);
+  model.selector.w_sparsity = lr.w1();
+  model.selector.w_cols = lr.w2();
+  model.selector.bias = lr.bias();
+
+  // ---- Metrics ----
+  CalibrationMetrics& m = model.metrics;
+  m.num_samples = static_cast<int64_t>(samples.size());
+  const CudaOptimizedSpmm cuda_kernel;
+  const TensorOptimizedSpmm tensor_kernel;
+  std::vector<double> fit_cuda, fit_tensor, hand_cuda, hand_tensor, meas_cuda,
+      meas_tensor;
+  int64_t train_correct = 0, train_total = 0, holdout_correct = 0;
+  for (const CalibrationSample& s : samples) {
+    m.cuda_labeled += s.label();
+    // Prediction quality is evaluated over the whole sweep: the hand-set
+    // prediction is the constants' BlockCycles converted to time, exactly
+    // what the profile layer meters per block.
+    meas_cuda.push_back(s.cuda_ns);
+    meas_tensor.push_back(s.tensor_ns);
+    fit_cuda.push_back(model.PredictCudaNs(s.shape));
+    fit_tensor.push_back(model.PredictTensorNs(s.shape));
+    hand_cuda.push_back(config.device.CyclesToNs(
+        cuda_kernel.WindowCostFor(s.shape, config.device, config.dtype)
+            .BlockCycles()));
+    hand_tensor.push_back(config.device.CyclesToNs(
+        tensor_kernel.WindowCostFor(s.shape, config.device, config.dtype)
+            .BlockCycles()));
+
+    const CoreType predicted =
+        model.selector.Select(s.sparsity, static_cast<double>(s.shape.unique_cols));
+    const CoreType actual =
+        s.label() == 1 ? CoreType::kCudaCore : CoreType::kTensorCore;
+    if (s.holdout) {
+      m.holdout_samples += 1;
+      holdout_correct += (predicted == actual);
+    } else {
+      train_total += 1;
+      train_correct += (predicted == actual);
+    }
+  }
+  m.train_accuracy =
+      train_total > 0 ? static_cast<double>(train_correct) / train_total : 0.0;
+  m.routing_accuracy = m.holdout_samples > 0
+                           ? static_cast<double>(holdout_correct) / m.holdout_samples
+                           : m.train_accuracy;
+  m.fitted_mre_cuda = MeanRelativeError(fit_cuda, meas_cuda);
+  m.fitted_mre_tensor = MeanRelativeError(fit_tensor, meas_tensor);
+  m.handset_mre_cuda = MeanRelativeError(hand_cuda, meas_cuda);
+  m.handset_mre_tensor = MeanRelativeError(hand_tensor, meas_tensor);
+  m.crossover_sparsity = model.CrossoverSparsity();
+  return model;
+}
+
+CalibrationReport RunCalibration(Runtime* runtime, const CalibrationConfig& config) {
+  CalibrationReport report;
+  report.config = config;
+  report.samples = RunCalibrationSweep(runtime, config);
+  report.model = FitCalibratedModel(report.samples, config);
+  return report;
+}
+
+const char* CalibrationCsvHeader() {
+  return "rows,dim,nnz,unique_cols,col_span,matrix_cols,max_row_nnz,sparsity,"
+         "cuda_ns,tensor_ns,label,holdout";
+}
+
+Status WriteCalibrationCsv(const std::vector<CalibrationSample>& samples,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for writing");
+  bool ok = std::fprintf(f, "%s\n", CalibrationCsvHeader()) > 0;
+  for (const CalibrationSample& s : samples) {
+    ok = ok && std::fprintf(f, "%d,%d,%lld,%d,%d,%d,%lld,%.17g,%.17g,%.17g,%d,%d\n",
+                            s.shape.rows, s.shape.dim,
+                            static_cast<long long>(s.shape.nnz),
+                            s.shape.unique_cols, s.shape.col_span,
+                            s.shape.matrix_cols,
+                            static_cast<long long>(s.shape.max_row_nnz),
+                            s.sparsity, s.cuda_ns, s.tensor_ns, s.label(),
+                            s.holdout ? 1 : 0) > 0;
+  }
+  if (std::fclose(f) != 0 || !ok) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace hcspmm

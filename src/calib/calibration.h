@@ -1,0 +1,93 @@
+// Learned cost-model calibration pipeline (ROADMAP item; cf. Hyrise's
+// cost_model_calibration_lib):
+//   (1) sweep generator — a grid of synthetic row-window populations over
+//       sparsity x dense dim x window width (sparse/generate, extending the
+//       SelectorTrainConfig sweep of src/ml/training_pipeline),
+//   (2) measurement runner — every cell executes both core paths through a
+//       Session on the runtime, on a simulated DeviceSpec, recording the
+//       WindowShape features plus the measured kernel-body cost,
+//   (3) fitting — least-squares re-derivation of the per-path cost
+//       coefficients and a retrained logistic SelectorModel (src/ml/),
+//   (4) artifacts — calibration.csv (raw samples) and calibrated_model.json
+//       (CalibratedCostModel), which CI gates on via
+//       scripts/check_calibration.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calib/calibrated_model.h"
+#include "gpusim/device.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+class Runtime;
+
+/// Sweep grid configuration. Defaults reproduce the paper's SS IV-C
+/// characterization conditions (16-row windows, 1..130 columns, 1/16..15/16
+/// sparsity plus a refinement band around the Fig. 1a crossover) over two
+/// dense dimensions.
+struct CalibrationConfig {
+  DeviceSpec device = Rtx3090();
+  DataType dtype = DataType::kTf32;
+  std::vector<int32_t> dims = {32, 64};  ///< dense dimensions D to sweep
+  int32_t max_cols = 130;                ///< paper's column-count cap
+  int32_t col_step = 3;                  ///< stride through the column range
+  int32_t sparsity_levels = 15;          ///< 1/16 .. 15/16
+  int32_t repeats = 2;                   ///< matrices per grid cell
+  uint64_t seed = 7;
+  /// Every holdout_every-th cell is excluded from fitting and selector
+  /// training and used only to evaluate routing accuracy (<= 1 disables).
+  int32_t holdout_every = 5;
+
+  /// Reduced grid for the CI fast-sweep mode: one dimension, coarser column
+  /// stride, single repeat — a few hundred cells, well under a minute.
+  static CalibrationConfig Fast();
+};
+
+/// One measured sweep cell.
+struct CalibrationSample {
+  WindowShape shape;       ///< per-window features (rows/dim/nnz/cols/...)
+  double sparsity = 0.0;   ///< condensed-region sparsity (selector feature)
+  double cuda_ns = 0.0;    ///< measured kernel-body time, CUDA path
+  double tensor_ns = 0.0;  ///< measured kernel-body time, Tensor path
+  bool holdout = false;    ///< excluded from fitting; evaluation only
+
+  /// Paper labeling: 1 == CUDA cores faster.
+  int32_t label() const { return cuda_ns < tensor_ns ? 1 : 0; }
+};
+
+/// Full pipeline output: the raw samples (CSV artifact) plus the fitted
+/// model with its metrics (JSON artifact).
+struct CalibrationReport {
+  CalibrationConfig config;
+  std::vector<CalibrationSample> samples;
+  CalibratedCostModel model;
+};
+
+/// Stage 1+2: generate the grid and measure every cell through `runtime`
+/// (nullptr => Runtime::Default()). Deterministic for a fixed config: the
+/// generator is PCG32-seeded and the measured costs are simulated.
+std::vector<CalibrationSample> RunCalibrationSweep(Runtime* runtime,
+                                                   const CalibrationConfig& config);
+
+/// Stage 3: least-squares fit of both cost paths (ridge-stabilized normal
+/// equations over the non-holdout cells) + selector retraining, with
+/// accuracy/crossover/MRE metrics filled in.
+CalibratedCostModel FitCalibratedModel(const std::vector<CalibrationSample>& samples,
+                                       const CalibrationConfig& config);
+
+/// Stages 1-3 end to end.
+CalibrationReport RunCalibration(Runtime* runtime, const CalibrationConfig& config);
+
+/// Stage 4: the raw-sample artifact. One header line plus one row per
+/// sample; doubles are %.17g so the CSV preserves the measured bits.
+Status WriteCalibrationCsv(const std::vector<CalibrationSample>& samples,
+                           const std::string& path);
+
+/// The CSV header WriteCalibrationCsv emits (for readers/tests).
+const char* CalibrationCsvHeader();
+
+}  // namespace hcspmm

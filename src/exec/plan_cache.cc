@@ -31,6 +31,7 @@ size_t PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
   h = FnvMix(h, &k.device_params, sizeof(k.device_params));
   const int32_t dt = static_cast<int32_t>(k.dtype);
   h = FnvMix(h, &dt, sizeof(dt));
+  h = FnvMix(h, &k.selector_params, sizeof(k.selector_params));
   return static_cast<size_t>(h);
 }
 
@@ -57,6 +58,13 @@ uint64_t FingerprintDeviceParams(const DeviceSpec& dev) {
   return h;
 }
 
+uint64_t FingerprintSelector(const SelectorModel& selector) {
+  uint64_t h = kFnvOffset;
+  const double coeffs[3] = {selector.w_sparsity, selector.w_cols, selector.bias};
+  h = FnvMix(h, coeffs, sizeof(coeffs));
+  return h;
+}
+
 PlanCacheKey MakePlanCacheKey(const CsrMatrix& m, const DeviceSpec& dev,
                               DataType dtype) {
   PlanCacheKey key;
@@ -66,6 +74,13 @@ PlanCacheKey MakePlanCacheKey(const CsrMatrix& m, const DeviceSpec& dev,
   key.device = dev.name;
   key.device_params = FingerprintDeviceParams(dev);
   key.dtype = dtype;
+  return key;
+}
+
+PlanCacheKey MakePlanCacheKey(const CsrMatrix& m, const DeviceSpec& dev,
+                              DataType dtype, const SelectorModel& selector) {
+  PlanCacheKey key = MakePlanCacheKey(m, dev, dtype);
+  key.selector_params = FingerprintSelector(selector);
   return key;
 }
 

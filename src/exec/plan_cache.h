@@ -34,11 +34,16 @@ struct PlanCacheKey {
   std::string device;
   uint64_t device_params = 0;
   DataType dtype = DataType::kTf32;
+  /// Hash of the selector coefficients the plan was classified under
+  /// (FingerprintSelector). Sessions carrying an injected (e.g. calibrated)
+  /// selector route windows differently, so their plans must never alias
+  /// the default-selector entries. 0 == the device's default selector.
+  uint64_t selector_params = 0;
 
   bool operator==(const PlanCacheKey& o) const {
     return fingerprint == o.fingerprint && rows == o.rows && nnz == o.nnz &&
            device == o.device && device_params == o.device_params &&
-           dtype == o.dtype;
+           dtype == o.dtype && selector_params == o.selector_params;
   }
 };
 
@@ -126,8 +131,16 @@ uint64_t FingerprintCsr(const CsrMatrix& m);
 /// window classification) depends on.
 uint64_t FingerprintDeviceParams(const DeviceSpec& dev);
 
-/// Assemble the cache key for binding `m` to (`dev`, `dtype`).
+/// Hash of the selector coefficients (classification identity of a plan).
+uint64_t FingerprintSelector(const SelectorModel& selector);
+
+/// Assemble the cache key for binding `m` to (`dev`, `dtype`) under the
+/// device's default selector.
 PlanCacheKey MakePlanCacheKey(const CsrMatrix& m, const DeviceSpec& dev, DataType dtype);
+
+/// Key for a plan classified by an explicitly injected `selector`.
+PlanCacheKey MakePlanCacheKey(const CsrMatrix& m, const DeviceSpec& dev, DataType dtype,
+                              const SelectorModel& selector);
 
 /// Approximate resident bytes of a plan (windows metadata + assignment).
 int64_t PlanMemoryBytes(const HybridPlan& plan);

@@ -21,6 +21,22 @@ double TensorCoreScale(const DeviceSpec& dev) { return 4.0 / dev.tensor_cores_pe
 
 }  // namespace
 
+double CudaCacheMissFraction(const WindowShape& w, DataType dtype) {
+  // X gathers start missing when the window's column span times the row
+  // width exceeds what L2 can hold (absolute term), or when the span covers
+  // most of the matrix (relative term — preserves the scattered-id
+  // behaviour of AZ/DP when datasets are scaled down below L2-resident
+  // sizes).
+  const double footprint =
+      static_cast<double>(w.col_span) * w.dim * DataTypeBytes(dtype);
+  const double span_fraction =
+      w.matrix_cols > 0
+          ? static_cast<double>(w.col_span) / static_cast<double>(w.matrix_cols)
+          : 0.0;
+  return std::min(
+      1.0, footprint / kL2CapacityBytes + 0.35 * span_fraction * span_fraction);
+}
+
 WindowCost CudaWindowCost(const WindowShape& w, const CudaPathTuning& t,
                           const DeviceSpec& dev, DataType dtype) {
   WindowCost c;
@@ -49,19 +65,8 @@ WindowCost CudaWindowCost(const WindowShape& w, const CudaPathTuning& t,
   double mem_per_iter = 0.0;
   if (!t.shared_mem_edges) mem_per_iter += kCudaBroadcastPenaltyPerIter;
 
-  // Cache model: X gathers start missing when the window's column span
-  // times the row width exceeds what L2 can hold (absolute term), or when
-  // the span covers most of the matrix (relative term — preserves the
-  // scattered-id behaviour of AZ/DP when datasets are scaled down below
-  // L2-resident sizes).
-  const double footprint =
-      static_cast<double>(w.col_span) * w.dim * DataTypeBytes(dtype);
-  const double span_fraction =
-      w.matrix_cols > 0
-          ? static_cast<double>(w.col_span) / static_cast<double>(w.matrix_cols)
-          : 0.0;
-  const double miss = std::min(
-      1.0, footprint / kL2CapacityBytes + 0.35 * span_fraction * span_fraction);
+  // Cache model, shared with the calibration feature extractor.
+  const double miss = CudaCacheMissFraction(w, dtype);
   mem_per_iter += kCudaUncachedExtraPerIter * miss * t.cache_sensitivity;
 
   double memory = (memory_base + iters * mem_per_iter) * t.mem_scale;

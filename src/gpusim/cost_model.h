@@ -93,6 +93,13 @@ inline constexpr double kNaiveLoadFactor = 1.22;  // Algorithm 2 staging
 inline constexpr double kL2BoostFactor = 1.11;    // effective B/cycle boost
 inline constexpr int64_t kL2CapacityBytes = 6 * 1024 * 1024;
 
+/// Fraction of the window's X-row gathers that miss cache (0..1): the
+/// absolute L2-footprint term plus the relative column-span term of the
+/// CUDA-path cache model. Exposed so the calibration pipeline's feature
+/// extractor (src/calib/) uses exactly the miss model the kernel is
+/// metered with.
+double CudaCacheMissFraction(const WindowShape& w, DataType dtype);
+
 /// Cost of one row window on CUDA cores (Algorithms 1 / 3).
 WindowCost CudaWindowCost(const WindowShape& w, const CudaPathTuning& t,
                           const DeviceSpec& dev, DataType dtype);

@@ -47,15 +47,21 @@ Status Session::Initialize() {
   const WindowedCsr* windows = nullptr;
   WindowedCsr local_windows;
   if (options_.kernel_name() == "hcspmm") {
+    // An injected selector classifies windows differently, so its plans get
+    // a selector-fingerprinted cache key (never aliasing default plans).
+    const SelectorModel selector =
+        options_.has_selector() ? options_.selector()
+                                : DefaultSelectorModelFor(options_.device().name);
     const PlanCacheKey key =
-        MakePlanCacheKey(*abar_, options_.device(), options_.dtype());
+        options_.has_selector()
+            ? MakePlanCacheKey(*abar_, options_.device(), options_.dtype(), selector)
+            : MakePlanCacheKey(*abar_, options_.device(), options_.dtype());
     plan_ = cache_->Lookup(key);
     if (plan_ != nullptr) {
       plan_from_cache_ = true;
       preprocess_ns_ = 0.0;
     } else {
-      auto plan = Preprocess(*abar_, options_.device(),
-                             DefaultSelectorModelFor(options_.device().name));
+      auto plan = Preprocess(*abar_, options_.device(), selector);
       HCSPMM_RETURN_NOT_OK(plan.status());
       preprocess_ns_ = plan.ValueOrDie().preprocess_profile.TotalNs();
       // Detach the plan from this particular matrix object before sharing:

@@ -52,12 +52,23 @@ class SessionOptions {
     num_streams_ = n;
     return *this;
   }
+  /// Inject an explicit core selector (e.g. the retrained one from a
+  /// CalibratedCostModel artifact) instead of the device's default.
+  /// Only "hcspmm" consults a selector; the plan is cached under a
+  /// selector-fingerprinted key so it never aliases default-selector plans.
+  SessionOptions& set_selector(SelectorModel selector) {
+    selector_ = selector;
+    has_selector_ = true;
+    return *this;
+  }
 
   const std::string& kernel_name() const { return kernel_name_; }
   const DeviceSpec& device() const { return device_; }
   DataType dtype() const { return dtype_; }
   int num_threads() const { return num_threads_; }
   int num_streams() const { return num_streams_; }
+  bool has_selector() const { return has_selector_; }
+  const SelectorModel& selector() const { return selector_; }
 
  private:
   std::string kernel_name_ = "hcspmm";
@@ -65,6 +76,8 @@ class SessionOptions {
   DataType dtype_ = DataType::kTf32;
   int num_threads_ = 0;
   int num_streams_ = 2;
+  SelectorModel selector_;
+  bool has_selector_ = false;
 };
 
 class Runtime;

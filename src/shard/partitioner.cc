@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "calib/calibrated_model.h"
 #include "core/row_window.h"
 #include "util/logging.h"
 
@@ -41,10 +42,24 @@ GraphPartition GraphPartitioner::Partition(const CsrMatrix& m) const {
   const int64_t total_nnz = m.nnz();
   const std::vector<int64_t>& row_ptr = m.row_ptr();
 
+  // Cost-driven mode balances predicted per-unit time instead of nnz:
+  // prefix_cost[u] is the predicted ns of units [0, u), binary-searched the
+  // same way row_ptr (the prefix-nnz array) is below. Weights only move the
+  // boundaries between whole units, never inside one, so every guarantee of
+  // the nnz split (contiguity, tiling, fp32 bit-identity) is untouched.
+  std::vector<double> prefix_cost;
+  if (options_.balance_by_cost && k > 1) {
+    const std::vector<double> unit_cost = PredictedUnitCostNs(m, options_);
+    prefix_cost.resize(unit_cost.size() + 1, 0.0);
+    for (size_t u = 0; u < unit_cost.size(); ++u) {
+      prefix_cost[u + 1] = prefix_cost[u] + unit_cost[u];
+    }
+  }
+
   // Greedy contiguous split over units: boundary i targets the prefix-nnz
-  // quantile (i+1)/k, constrained so every shard keeps at least one unit.
-  // row_ptr doubles as the prefix-nnz array, so each boundary is a binary
-  // search, not a scan.
+  // (or prefix-cost) quantile (i+1)/k, constrained so every shard keeps at
+  // least one unit. row_ptr doubles as the prefix-nnz array, so each
+  // boundary is a binary search, not a scan.
   part.ranges.reserve(k);
   int64_t prev_unit = 0;
   for (int i = 0; i < k; ++i) {
@@ -52,16 +67,25 @@ GraphPartition GraphPartitioner::Partition(const CsrMatrix& m) const {
     if (i == k - 1) {
       end_unit = units;
     } else {
-      const int64_t target = total_nnz * (i + 1) / k;
-      const int32_t prev_row =
-          UnitBeginRow(prev_unit, m.rows(), options_.align_to_windows);
-      // Smallest row whose prefix nnz reaches the target...
-      const auto it = std::lower_bound(row_ptr.begin() + prev_row + 1,
-                                       row_ptr.begin() + m.rows(), target);
-      int64_t boundary_row = it - row_ptr.begin();
-      int64_t unit = options_.align_to_windows
-                         ? (boundary_row + kRowWindowHeight / 2) / kRowWindowHeight
-                         : boundary_row;
+      int64_t unit;
+      if (!prefix_cost.empty()) {
+        const double target =
+            prefix_cost.back() * static_cast<double>(i + 1) / static_cast<double>(k);
+        const auto it = std::lower_bound(prefix_cost.begin() + prev_unit + 1,
+                                         prefix_cost.end() - 1, target);
+        unit = it - prefix_cost.begin();
+      } else {
+        const int64_t target = total_nnz * (i + 1) / k;
+        const int32_t prev_row =
+            UnitBeginRow(prev_unit, m.rows(), options_.align_to_windows);
+        // Smallest row whose prefix nnz reaches the target...
+        const auto it = std::lower_bound(row_ptr.begin() + prev_row + 1,
+                                         row_ptr.begin() + m.rows(), target);
+        const int64_t boundary_row = it - row_ptr.begin();
+        unit = options_.align_to_windows
+                   ? (boundary_row + kRowWindowHeight / 2) / kRowWindowHeight
+                   : boundary_row;
+      }
       // ...rounded to a unit boundary and kept strictly increasing while
       // leaving one unit for each remaining shard.
       unit = std::max(unit, prev_unit + 1);
@@ -100,6 +124,35 @@ GraphPartition GraphPartitioner::Partition(const CsrMatrix& m) const {
 
 GraphPartition PartitionCsr(const CsrMatrix& m, const ShardingOptions& options) {
   return GraphPartitioner(options).Partition(m);
+}
+
+std::vector<double> PredictedUnitCostNs(const CsrMatrix& m,
+                                        const ShardingOptions& options) {
+  // One window per split unit: the full window height when boundaries snap
+  // to windows, single rows otherwise.
+  const int32_t height = options.align_to_windows ? kRowWindowHeight : 1;
+  const WindowedCsr windows = BuildWindows(m, height);
+  std::vector<double> costs;
+  costs.reserve(windows.windows.size());
+  for (const RowWindow& w : windows.windows) {
+    const WindowShape shape = w.Shape(options.cost_dim);
+    if (options.cost_model != nullptr) {
+      costs.push_back(options.cost_model->PredictRoutedNs(shape));
+      continue;
+    }
+    // Hand-set fallback: the analytic per-block cost of the cheaper core
+    // path, converted to time like the profile layer does.
+    const double cuda = options.cost_device.CyclesToNs(
+        CudaWindowCost(shape, CudaPathTuning{}, options.cost_device,
+                       options.cost_dtype)
+            .BlockCycles());
+    const double tensor = options.cost_device.CyclesToNs(
+        TensorWindowCost(shape, TensorPathTuning{}, options.cost_device,
+                         options.cost_dtype)
+            .BlockCycles());
+    costs.push_back(std::min(cuda, tensor));
+  }
+  return costs;
 }
 
 }  // namespace hcspmm

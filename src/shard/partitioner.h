@@ -11,10 +11,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "gpusim/device.h"
 #include "sparse/csr.h"
 #include "util/status.h"
 
 namespace hcspmm {
+
+struct CalibratedCostModel;
 
 /// One shard's row ownership: rows [row_begin, row_end) of the original
 /// matrix (and of the product), carrying `nnz` nonzeros.
@@ -39,6 +42,23 @@ struct ShardingOptions {
   /// plan's. Off, boundaries fall on arbitrary rows for the tightest nnz
   /// balance.
   bool align_to_windows = true;
+  /// Cost-driven balancing: weight each split unit by its predicted
+  /// routed window cost (cheaper of the two core paths) instead of its raw
+  /// nnz. Equal-nnz shards are not equal-time shards — a dense-window shard
+  /// routes to Tensor cores and finishes sooner than a scattered shard of
+  /// the same nnz — so balancing predicted time tightens the sync barrier.
+  /// Boundaries still fall on whole units, so shard results stay
+  /// bit-identical to the unsharded path regardless of the weights.
+  bool balance_by_cost = false;
+  /// Dense dimension / dtype / device the per-unit cost is predicted for
+  /// (only read when balance_by_cost is set).
+  int32_t cost_dim = 32;
+  DataType cost_dtype = DataType::kTf32;
+  DeviceSpec cost_device = Rtx3090();
+  /// Predictor for cost-driven balancing: a calibration artifact
+  /// (calib/calibrated_model.h), or nullptr to fall back to the hand-set
+  /// analytic cost model. Not owned; must outlive the partitioner calls.
+  const CalibratedCostModel* cost_model = nullptr;
 };
 
 /// A partitioned CSR: `shards[i]` is a standalone (ranges[i].NumRows() x
@@ -77,5 +97,12 @@ class GraphPartitioner {
 
 /// Convenience wrapper: GraphPartitioner(options).Partition(m).
 GraphPartition PartitionCsr(const CsrMatrix& m, const ShardingOptions& options);
+
+/// Predicted cost (ns) of every split unit of `m` under `options`'s cost
+/// configuration — the weights cost-driven partitioning balances. Unit i is
+/// row i, or the i-th kRowWindowHeight-row window when aligning to windows.
+/// Exposed for tests and placement diagnostics.
+std::vector<double> PredictedUnitCostNs(const CsrMatrix& m,
+                                        const ShardingOptions& options);
 
 }  // namespace hcspmm

@@ -1,0 +1,132 @@
+// hcspmm_calibrate: run the cost-model calibration pipeline (src/calib/)
+// and emit its two artifacts into --out-dir:
+//   calibration.csv        raw sweep samples (one row per measured cell)
+//   calibrated_model.json  fitted coefficients + retrained selector + metrics
+//
+// CI runs `hcspmm_calibrate --fast --out-dir calib-artifacts` and gates the
+// JSON with scripts/check_calibration.py. Exit status reflects pipeline
+// failures only (empty sweep, unwritable artifacts); quality thresholds are
+// the gate script's job so the artifacts survive for inspection either way.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "calib/calibration.h"
+#include "gpusim/device.h"
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --out-dir DIR    artifact directory (default: .)\n"
+               "  --device NAME    3090 | 4090 | A100 (default: 3090)\n"
+               "  --fast           reduced CI grid (one dim, coarse stride)\n"
+               "  --seed N         sweep RNG seed (default: 7)\n"
+               "  --col-step N     column-count stride through 1..130\n"
+               "  --repeats N      matrices per grid cell\n"
+               "  --dims A[,B...]  dense dimensions to sweep\n",
+               argv0);
+}
+
+bool ParseDims(const char* arg, std::vector<int32_t>* dims) {
+  dims->clear();
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v <= 0) return false;
+    dims->push_back(static_cast<int32_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != '\0' && *end != ',') return false;
+  }
+  return !dims->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hcspmm;
+
+  CalibrationConfig config;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_operand = i + 1 < argc;
+    if (arg == "--fast") {
+      const CalibrationConfig fast = CalibrationConfig::Fast();
+      config.dims = fast.dims;
+      config.col_step = fast.col_step;
+      config.repeats = fast.repeats;
+    } else if (arg == "--out-dir" && has_operand) {
+      out_dir = argv[++i];
+    } else if (arg == "--device" && has_operand) {
+      config.device = DeviceByName(argv[++i]);
+    } else if (arg == "--seed" && has_operand) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--col-step" && has_operand) {
+      config.col_step = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--repeats" && has_operand) {
+      config.repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--dims" && has_operand) {
+      if (!ParseDims(argv[++i], &config.dims)) {
+        std::fprintf(stderr, "invalid --dims '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::printf("calibrating on %s (dtype %s, seed %llu)...\n",
+              config.device.name.c_str(), DataTypeName(config.dtype),
+              static_cast<unsigned long long>(config.seed));
+  const CalibrationReport report = RunCalibration(nullptr, config);
+  if (report.samples.empty()) {
+    std::fprintf(stderr, "calibration sweep produced no samples\n");
+    return 1;
+  }
+
+  const std::string csv_path = out_dir + "/calibration.csv";
+  const std::string json_path = out_dir + "/calibrated_model.json";
+  Status st = WriteCalibrationCsv(report.samples, csv_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = report.model.SaveJsonFile(json_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const CalibrationMetrics& m = report.model.metrics;
+  std::printf("  samples:            %lld (%lld held out)\n",
+              static_cast<long long>(m.num_samples),
+              static_cast<long long>(m.holdout_samples));
+  std::printf("  routing accuracy:   %.4f (train %.4f)\n", m.routing_accuracy,
+              m.train_accuracy);
+  std::printf("  crossover sparsity: %.3f (paper Fig. 1a: ~0.83)\n",
+              m.crossover_sparsity);
+  std::printf("  cost MRE cuda:      fitted %.4f vs hand-set %.4f\n",
+              m.fitted_mre_cuda, m.handset_mre_cuda);
+  std::printf("  cost MRE tensor:    fitted %.4f vs hand-set %.4f\n",
+              m.fitted_mre_tensor, m.handset_mre_tensor);
+  std::printf("  wrote %s\n  wrote %s\n", csv_path.c_str(), json_path.c_str());
+  return 0;
+}
