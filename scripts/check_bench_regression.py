@@ -27,13 +27,25 @@ import json
 import os
 import sys
 
-# Per-bench artifact schema: which point fields form the identity key and
-# which field carries the gated wall-clock. Benches absent from this table
-# are compared structurally only (bit_identical), never on time.
+# Per-bench artifact schema: which point fields form the identity key,
+# which field carries the gated wall-clock, and (optionally) which carries a
+# gated throughput ("rate": higher is better, fails when it *drops* by more
+# than the allowed fraction). "time_slack" multiplies the allowed time
+# regression for that bench: tail-latency percentiles under saturation are
+# far noisier than mean wall-clock, so the serving p99 gate only catches
+# pathologies (stalled dispatcher, lost batching), not scheduler jitter.
+# Benches absent from this table are compared structurally only
+# (bit_identical), never on time.
 BENCH_RULES = {
     "parallel_scaling": {"key": ("threads",), "time": "ms"},
     "sharding": {"key": ("num_shards",), "time": "sync_ms"},
     "simd": {"key": ("op", "dim"), "time": "simd_ms"},
+    "serving": {
+        "key": ("mode",),
+        "time": "p99_us",
+        "rate": "qps",
+        "time_slack": 6.0,
+    },
 }
 
 
@@ -60,9 +72,12 @@ def check_pair(name, baseline, current, max_regression):
     if rule is None:
         print(f"::warning::no gating rule for bench '{name}'; "
               "checking bit_identical flags only")
-        key_fields, time_field = None, None
+        key_fields, time_field, rate_field = None, None, None
+        time_slack = 1.0
     else:
         key_fields, time_field = rule["key"], rule["time"]
+        rate_field = rule.get("rate")
+        time_slack = rule.get("time_slack", 1.0)
 
     if key_fields is not None:
         current_points = {
@@ -86,7 +101,7 @@ def check_pair(name, baseline, current, max_regression):
             failures += 1
         base_ms = base_point[time_field]
         cur_ms = cur_point[time_field]
-        limit = base_ms * (1.0 + max_regression)
+        limit = base_ms * (1.0 + max_regression * time_slack)
         verdict = "OK" if cur_ms <= limit else "REGRESSION"
         print(
             f"{label}: baseline {base_ms:.3f} ms, "
@@ -96,9 +111,26 @@ def check_pair(name, baseline, current, max_regression):
             print(
                 f"::error::{label} wall-clock regressed "
                 f"{(cur_ms / base_ms - 1.0) * 100.0:.1f}% "
-                f"(> {max_regression * 100.0:.0f}% allowed)"
+                f"(> {max_regression * time_slack * 100.0:.0f}% allowed)"
             )
             failures += 1
+        if rate_field is not None:
+            base_rate = base_point[rate_field]
+            cur_rate = cur_point[rate_field]
+            floor = base_rate * (1.0 - max_regression)
+            verdict = "OK" if cur_rate >= floor else "REGRESSION"
+            print(
+                f"{label}: baseline {base_rate:.1f} {rate_field}, "
+                f"current {cur_rate:.1f} {rate_field}, "
+                f"floor {floor:.1f} -> {verdict}"
+            )
+            if cur_rate < floor:
+                print(
+                    f"::error::{label} throughput dropped "
+                    f"{(1.0 - cur_rate / base_rate) * 100.0:.1f}% "
+                    f"(> {max_regression * 100.0:.0f}% allowed)"
+                )
+                failures += 1
     return failures
 
 

@@ -56,6 +56,7 @@ Status Session::Initialize() {
         options_.has_selector()
             ? MakePlanCacheKey(*abar_, options_.device(), options_.dtype(), selector)
             : MakePlanCacheKey(*abar_, options_.device(), options_.dtype());
+    content_fingerprint_ = key.fingerprint;
     plan_ = cache_->Lookup(key);
     if (plan_ != nullptr) {
       plan_from_cache_ = true;
@@ -74,6 +75,7 @@ Status Session::Initialize() {
     }
     windows = &plan_->windows;
   } else {
+    content_fingerprint_ = FingerprintCsr(*abar_);
     local_windows = BuildWindows(*abar_);
     windows = &local_windows;
   }
@@ -128,6 +130,11 @@ int64_t Session::AuxMemoryBytes() const {
 const HybridPlan* Session::plan() const {
   init_.Wait();
   return plan_.get();
+}
+
+uint64_t Session::content_fingerprint() const {
+  init_.Wait();
+  return content_fingerprint_;
 }
 
 Status Session::MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,

@@ -148,6 +148,11 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Hybrid plan — populated only for "hcspmm" (waits).
   const HybridPlan* plan() const;
 
+  /// FNV-1a content fingerprint of the bound matrix — the same value the
+  /// PlanCache keys on, so the serving layer's SessionPool can admit/share
+  /// sessions by graph content without rehashing the CSR (waits).
+  uint64_t content_fingerprint() const;
+
   const std::string& kernel_name() const { return options_.kernel_name(); }
   const DeviceSpec& device() const { return options_.device(); }
   DataType dtype() const { return options_.dtype(); }
@@ -205,6 +210,7 @@ class Session : public std::enable_shared_from_this<Session> {
   bool plan_from_cache_ = false;
   double preprocess_ns_ = 0.0;
   int64_t aux_bytes_ = 0;
+  uint64_t content_fingerprint_ = 0;
 
   Promise<bool> init_promise_;
   Future<bool> init_;  // resolves true on success, error Status on failure

@@ -1,0 +1,364 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hcspmm {
+
+// ---------------------------------------------------------------------------
+// WfqScheduler
+
+void WfqScheduler::SetWeight(const std::string& tenant, double weight) {
+  tenants_[tenant].weight = std::max(weight, 1e-9);
+}
+
+void WfqScheduler::Enqueue(const std::string& tenant, const BatchKey& key,
+                           uint64_t id, Clock::time_point enqueue_time, double cost) {
+  TenantQueue& q = tenants_[tenant];
+  QueuedItem item;
+  item.key = key;
+  item.id = id;
+  // A tenant idle since V is charged from *now*, not from its stale finish
+  // time: backlog alone earns no credit, and a flooder cannot bank work.
+  q.last_vft = std::max(virtual_time_, q.last_vft) + cost / q.weight;
+  item.vft = q.last_vft;
+  item.seq = next_seq_++;
+  item.enqueue_time = enqueue_time;
+  q.items.push_back(std::move(item));
+  ++total_depth_;
+}
+
+template <typename Visit>
+int WfqScheduler::Collect(int max_n,
+                          const std::function<int(const std::string&)>& can_take,
+                          bool pop, BatchKey* key_out, Clock::time_point* head_out,
+                          Visit&& visit) {
+  // Walk heads in vft order. `offset` simulates popping when !pop so Plan and
+  // Pop traverse identically; `excluded` marks tenants whose head was
+  // incompatible with the batch key (head-of-line order within a tenant is
+  // preserved — we never pop around a tenant's own head).
+  std::unordered_map<std::string, int> offset;
+  std::unordered_map<std::string, int> taken;
+  std::unordered_map<std::string, bool> excluded;
+  BatchKey key;
+  bool have_key = false;
+  int count = 0;
+  while (count < max_n) {
+    TenantQueue* best_q = nullptr;
+    const std::string* best_tenant = nullptr;
+    const QueuedItem* best_item = nullptr;
+    for (auto& [name, q] : tenants_) {
+      if (excluded[name]) continue;
+      const int off = offset[name];
+      if (off >= static_cast<int>(q.items.size())) continue;
+      if (can_take(name) - taken[name] <= 0) continue;
+      const QueuedItem& head = q.items[static_cast<size_t>(off)];
+      if (best_item == nullptr || head.vft < best_item->vft ||
+          (head.vft == best_item->vft && head.seq < best_item->seq)) {
+        best_q = &q;
+        best_tenant = &name;
+        best_item = &head;
+      }
+    }
+    if (best_item == nullptr) break;
+    if (!have_key) {
+      key = best_item->key;
+      have_key = true;
+      if (head_out != nullptr) *head_out = best_item->enqueue_time;
+    } else if (!(best_item->key == key)) {
+      excluded[*best_tenant] = true;
+      continue;
+    }
+    visit(*best_tenant, *best_item);
+    ++taken[*best_tenant];
+    ++count;
+    if (pop) {
+      virtual_time_ = std::max(virtual_time_, best_item->vft);
+      best_q->items.pop_front();
+      --total_depth_;
+    } else {
+      ++offset[*best_tenant];
+    }
+  }
+  if (have_key && key_out != nullptr) *key_out = key;
+  return count;
+}
+
+std::optional<WfqScheduler::Plan> WfqScheduler::PlanBatch(
+    int max_n, const std::function<int(const std::string&)>& can_take) const {
+  Plan plan;
+  // Collect only reads when pop == false; const_cast keeps one traversal.
+  const int count = const_cast<WfqScheduler*>(this)->Collect(
+      max_n, can_take, /*pop=*/false, &plan.key, &plan.head_enqueue,
+      [](const std::string&, const QueuedItem&) {});
+  if (count == 0) return std::nullopt;
+  plan.count = count;
+  return plan;
+}
+
+std::vector<WfqScheduler::Popped> WfqScheduler::PopBatch(
+    int max_n, const std::function<int(const std::string&)>& can_take) {
+  std::vector<Popped> out;
+  Collect(max_n, can_take, /*pop=*/true, nullptr, nullptr,
+          [&out](const std::string& tenant, const QueuedItem& item) {
+            out.push_back(Popped{tenant, item.id, item.enqueue_time});
+          });
+  return out;
+}
+
+int64_t WfqScheduler::QueueDepth(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : static_cast<int64_t>(it->second.items.size());
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(Runtime* runtime, ServerOptions options)
+    : options_(std::move(options)), pool_(runtime, options_.pool) {
+  if (options_.max_batch < 1) options_.max_batch = 1;
+  if (options_.batch_window_us < 0) options_.batch_window_us = 0;
+  batch_size_hist_.assign(static_cast<size_t>(options_.max_batch) + 1, 0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+Server::~Server() { Shutdown(); }
+
+uint64_t Server::RegisterGraph(CsrMatrix abar) {
+  return pool_.RegisterGraph(std::move(abar));
+}
+
+void Server::ConfigureTenant(const std::string& tenant, const TenantOptions& opts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TenantState& state = TenantLocked(tenant);
+  state.options = opts;
+  sched_.SetWeight(tenant, opts.weight);
+}
+
+Server::TenantState& Server::TenantLocked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, TenantState{options_.default_tenant}).first;
+    sched_.SetWeight(tenant, it->second.options.weight);
+  }
+  return it->second;
+}
+
+Future<DenseMatrix> Server::Submit(InferRequest request) {
+  const auto now = WfqScheduler::Clock::now();
+  // Validate the operand against the pool outside mu_ (the pool has its own
+  // lock) so a bad request never poisons co-batched peers at dispatch time.
+  const int32_t graph_cols = pool_.GraphCols(request.graph);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopping_) {
+    return MakeErrorFuture<DenseMatrix>(
+        Status::Internal("Server: submit after Shutdown"));
+  }
+  if (graph_cols < 0) {
+    return MakeErrorFuture<DenseMatrix>(Status::InvalidArgument(
+        "Server: unknown graph handle " + std::to_string(request.graph)));
+  }
+  if (request.x.rows() != graph_cols) {
+    return MakeErrorFuture<DenseMatrix>(Status::InvalidArgument(
+        "Server: feature matrix has " + std::to_string(request.x.rows()) +
+        " rows; graph expects " + std::to_string(graph_cols)));
+  }
+  TenantState& tenant = TenantLocked(request.tenant);
+  if (sched_.QueueDepth(request.tenant) >=
+      static_cast<int64_t>(tenant.options.max_queue)) {
+    ++tenant.rejected;
+    return MakeErrorFuture<DenseMatrix>(Status::Overloaded(
+        "Server: tenant '" + request.tenant + "' queue is full (" +
+        std::to_string(tenant.options.max_queue) + " requests); retry later"));
+  }
+  ++tenant.submitted;
+  const uint64_t id = next_id_++;
+  Pending pending;
+  pending.x = std::move(request.x);
+  pending.tenant = request.tenant;
+  pending.graph = request.graph;
+  pending.enqueue_time = now;
+  Future<DenseMatrix> future = pending.promise.future();
+  const WfqScheduler::BatchKey key{request.graph, pending.x.cols()};
+  pending_.emplace(id, std::move(pending));
+  sched_.Enqueue(request.tenant, key, id, now);
+  lk.unlock();
+  cv_.notify_all();
+  return future;
+}
+
+void Server::DispatcherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto can_take = [this](const std::string& tenant) -> int {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return 0;
+    return it->second.options.max_inflight - static_cast<int>(it->second.inflight);
+  };
+  for (;;) {
+    std::optional<WfqScheduler::Plan> plan =
+        sched_.PlanBatch(options_.max_batch, can_take);
+    if (!plan.has_value()) {
+      if (stopping_ && sched_.TotalDepth() == 0 && inflight_total_ == 0) return;
+      cv_.wait(lk);
+      continue;
+    }
+    const bool full = plan->count >= options_.max_batch;
+    const auto deadline =
+        plan->head_enqueue + std::chrono::microseconds(options_.batch_window_us);
+    if (!full && !stopping_ && WfqScheduler::Clock::now() < deadline) {
+      cv_.wait_until(lk, deadline);  // woken early by submits/completions
+      continue;
+    }
+    std::vector<WfqScheduler::Popped> popped =
+        sched_.PopBatch(options_.max_batch, can_take);
+    if (popped.empty()) continue;  // racing completion changed eligibility
+    BatchJob job;
+    job.graph = 0;
+    job.items.reserve(popped.size());
+    for (const WfqScheduler::Popped& p : popped) {
+      auto it = pending_.find(p.id);
+      HCSPMM_CHECK(it != pending_.end()) << "scheduler popped unknown id";
+      job.items.push_back(std::move(it->second));
+      pending_.erase(it);
+      ++tenants_.at(p.tenant).inflight;
+    }
+    job.graph = job.items.front().graph;
+    // Rotate streams so consecutive batches for one session overlap instead
+    // of serializing on a single FIFO lane.
+    job.stream = static_cast<int>(batches_);
+    ++batches_;
+    const size_t bucket =
+        std::min(job.items.size(), batch_size_hist_.size() - 1);
+    ++batch_size_hist_[bucket];
+    inflight_total_ += static_cast<int64_t>(job.items.size());
+    lk.unlock();
+    DispatchBatch(std::move(job));
+    lk.lock();
+  }
+}
+
+void Server::DispatchBatch(BatchJob job) {
+  Result<PooledSession> session = pool_.Acquire(job.graph);
+  if (!session.ok()) {
+    CompleteBatch(std::move(job), session.status(), {});
+    return;
+  }
+  std::vector<DenseMatrix> xs;
+  xs.reserve(job.items.size());
+  for (Pending& item : job.items) xs.push_back(std::move(item.x));
+  Future<std::vector<DenseMatrix>> batch =
+      session.ValueOrDie().MultiplyBatchAsync(std::move(xs), job.stream);
+  // The callback owns the job (promises included); it runs on the executor
+  // thread that fulfills the batch, scattering results back per request.
+  auto shared_job = std::make_shared<BatchJob>(std::move(job));
+  batch.OnReady([this, shared_job, batch]() mutable {
+    if (batch.status().ok()) {
+      CompleteBatch(std::move(*shared_job), Status::OK(), batch.Take());
+    } else {
+      CompleteBatch(std::move(*shared_job), batch.status(), {});
+    }
+  });
+}
+
+void Server::CompleteBatch(BatchJob job, const Status& status,
+                           std::vector<DenseMatrix> zs) {
+  Status st = status;
+  if (st.ok() && zs.size() != job.items.size()) {
+    st = Status::Internal("Server: batch returned " + std::to_string(zs.size()) +
+                          " results for " + std::to_string(job.items.size()) +
+                          " requests");
+  }
+  const auto now = WfqScheduler::Clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Pending& item : job.items) {
+      TenantState& tenant = tenants_.at(item.tenant);
+      --tenant.inflight;
+      if (st.ok()) {
+        ++tenant.completed;
+        latencies_us_.push_back(
+            std::chrono::duration<double, std::micro>(now - item.enqueue_time)
+                .count());
+      } else {
+        ++tenant.failed;
+      }
+    }
+    inflight_total_ -= static_cast<int64_t>(job.items.size());
+    // Notify while still holding mu_: once inflight_total_ hits zero a
+    // draining Shutdown may destroy the server, so `this` (cv_ included)
+    // must not be touched after the lock is released.
+    cv_.notify_all();
+  }
+  // Fulfill outside the lock; promise state is independently owned, so the
+  // Sets are safe even if the server is already gone.
+  for (size_t i = 0; i < job.items.size(); ++i) {
+    if (st.ok()) {
+      job.items[i].promise.Set(std::move(zs[i]));
+    } else {
+      job.items[i].promise.Set(st);
+    }
+  }
+}
+
+void Server::Shutdown() {
+  // Only the caller that flips stopping_ joins, so concurrent (or repeated)
+  // Shutdowns never double-join; later callers return once the flag is set
+  // and the dispatcher has been joined by the first.
+  bool do_join = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      do_join = true;
+    }
+    cv_.notify_all();
+  }
+  if (do_join) dispatcher_.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats s;
+  for (const auto& [name, state] : tenants_) {
+    TenantStats t;
+    t.weight = state.options.weight;
+    t.submitted = state.submitted;
+    t.completed = state.completed;
+    t.failed = state.failed;
+    t.rejected = state.rejected;
+    t.queued = sched_.QueueDepth(name);
+    t.inflight = state.inflight;
+    s.tenants.emplace(name, t);
+    s.submitted += t.submitted;
+    s.completed += t.completed;
+    s.failed += t.failed;
+    s.rejected += t.rejected;
+    s.queue_depth += t.queued;
+  }
+  s.batches = batches_;
+  s.batch_size_hist = batch_size_hist_;
+  if (s.batches > 0) {
+    s.avg_batch_size = static_cast<double>(s.completed + s.failed +
+                                           inflight_total_) /
+                       static_cast<double>(s.batches);
+  }
+  if (!latencies_us_.empty()) {
+    std::vector<double> lat = latencies_us_;
+    const auto pct = [&lat](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(lat.size() - 1) + 0.5);
+      std::nth_element(lat.begin(), lat.begin() + static_cast<int64_t>(idx),
+                       lat.end());
+      return lat[idx];
+    };
+    s.p50_latency_us = pct(0.50);
+    s.p99_latency_us = pct(0.99);
+    s.max_latency_us = *std::max_element(lat.begin(), lat.end());
+  }
+  return s;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,264 @@
+// Server: the multi-tenant request front-end over the async runtime. Clients
+// register graphs (content-fingerprinted, owned by the embedded SessionPool)
+// and submit InferRequest-shaped work — (tenant, graph handle, feature
+// matrix) — getting back a Future<DenseMatrix>. A dispatcher thread
+// micro-batches *compatible* requests (same graph fingerprint + feature dim)
+// within a bounded time/size window onto a single batched multiply, and
+// scatters the results back to the per-request futures on completion.
+//
+// QoS: admission and dispatch are tenant-aware. Each tenant has a weight
+// (weighted fair queuing decides who dispatches next), an in-flight cap
+// (dispatched-but-uncompleted requests), and a bounded queue — a submit
+// beyond the queue bound is rejected synchronously with a typed
+// StatusCode::kOverloaded (distinguishable from real failures, safe to
+// retry). Accepted requests are never dropped: shutdown drains the queue and
+// every outstanding future resolves.
+//
+// Bit-identity invariant: a batch computes each item exactly like a direct
+// Session::Multiply on the same input — batching groups requests, it never
+// merges or reorders accumulation *within* one — so served fp32 results are
+// bit-identical to the unbatched path (asserted in tests and bench_serving).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/session_pool.h"
+
+namespace hcspmm {
+
+/// Per-tenant QoS knobs.
+struct TenantOptions {
+  /// Fair-queuing weight (> 0): a tenant with weight 2 drains twice as fast
+  /// as a weight-1 tenant when both are backlogged.
+  double weight = 1.0;
+  /// Max dispatched-but-uncompleted requests; further requests wait queued.
+  int max_inflight = 64;
+  /// Bounded queue: submits beyond this many *queued* (not yet dispatched)
+  /// requests are rejected with kOverloaded instead of buffering unboundedly.
+  int max_queue = 256;
+};
+
+/// Server-wide configuration.
+struct ServerOptions {
+  /// Session pool under the server (budget, session template, sharding).
+  SessionPoolOptions pool;
+  /// Micro-batch size window: dispatch as soon as this many compatible
+  /// requests are collectable (1 disables cross-request batching).
+  int max_batch = 8;
+  /// Micro-batch time window in microseconds: a head-of-line request waits
+  /// at most this long for compatible peers before dispatching anyway.
+  int64_t batch_window_us = 200;
+  /// Applied to tenants that were never explicitly configured.
+  TenantOptions default_tenant;
+};
+
+/// One request into the serving layer.
+struct InferRequest {
+  std::string tenant;
+  uint64_t graph = 0;  ///< handle from Server::RegisterGraph
+  DenseMatrix x;       ///< feature matrix (rows must equal the graph's cols)
+};
+
+/// Per-tenant serving counters (snapshot).
+struct TenantStats {
+  double weight = 1.0;
+  int64_t submitted = 0;  ///< accepted into the queue
+  int64_t completed = 0;  ///< resolved with a result
+  int64_t failed = 0;     ///< resolved with a non-overload error
+  int64_t rejected = 0;   ///< kOverloaded at admission
+  int64_t queued = 0;     ///< waiting for dispatch right now
+  int64_t inflight = 0;   ///< dispatched, not yet completed
+};
+
+/// Whole-server snapshot (Server::stats()).
+struct ServerStats {
+  std::map<std::string, TenantStats> tenants;  // ordered => deterministic print
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t rejected = 0;
+  int64_t queue_depth = 0;
+  int64_t batches = 0;
+  /// batch_size_hist[s] = batches dispatched with exactly s requests
+  /// (index 0 unused).
+  std::vector<int64_t> batch_size_hist;
+  double avg_batch_size = 0.0;
+  /// Completion latency (submit -> future resolved) percentiles over every
+  /// completed request, microseconds. 0 when nothing completed yet.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+};
+
+/// \brief Weighted fair queuing across tenants with per-batch compatibility.
+///
+/// Classic virtual-finish-time WFQ: request r of tenant t gets
+/// vft(r) = max(V, vft_last(t)) + cost/weight(t), the scheduler always pops
+/// the globally smallest vft whose tenant still has in-flight budget, and V
+/// advances to the popped vft. Batches extend the pop: after the head fixes
+/// the batch key (graph, dim), further pops must match it — a tenant whose
+/// head is incompatible is skipped for this batch but keeps its place.
+/// Not thread-safe: the server calls it under its own mutex; tests drive it
+/// directly for deterministic fairness checks.
+class WfqScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Micro-batch compatibility key: requests batch iff both fields match.
+  struct BatchKey {
+    uint64_t graph = 0;
+    int32_t dim = 0;
+
+    bool operator==(const BatchKey& o) const {
+      return graph == o.graph && dim == o.dim;
+    }
+  };
+
+  /// A queued entry, identified by an opaque id the caller maps to payload.
+  struct Popped {
+    std::string tenant;
+    uint64_t id = 0;
+    Clock::time_point enqueue_time;
+  };
+
+  /// What PopBatch would return, without mutating (drives the time/size
+  /// window decision).
+  struct Plan {
+    BatchKey key;
+    int count = 0;
+    Clock::time_point head_enqueue;  ///< oldest-scheduled selected request
+  };
+
+  /// Set (or update) a tenant's weight; values <= 0 clamp to a tiny epsilon.
+  void SetWeight(const std::string& tenant, double weight);
+
+  /// Queue one request (`cost` is the fair-share charge, 1.0 = per-request
+  /// fairness).
+  void Enqueue(const std::string& tenant, const BatchKey& key, uint64_t id,
+               Clock::time_point enqueue_time, double cost = 1.0);
+
+  /// `can_take(tenant)` returns how many more requests the tenant may have
+  /// dispatched right now (its in-flight headroom); <= 0 skips the tenant.
+  std::optional<Plan> PlanBatch(
+      int max_n, const std::function<int(const std::string&)>& can_take) const;
+  std::vector<Popped> PopBatch(
+      int max_n, const std::function<int(const std::string&)>& can_take);
+
+  int64_t QueueDepth(const std::string& tenant) const;
+  int64_t TotalDepth() const { return total_depth_; }
+
+ private:
+  struct QueuedItem {
+    BatchKey key;
+    uint64_t id = 0;
+    double vft = 0.0;
+    uint64_t seq = 0;  // FIFO tie-break for equal vft
+    Clock::time_point enqueue_time;
+  };
+  struct TenantQueue {
+    double weight = 1.0;
+    double last_vft = 0.0;
+    std::deque<QueuedItem> items;
+  };
+
+  /// Shared selection walk behind PlanBatch/PopBatch. `pop` mutates.
+  template <typename Visit>
+  int Collect(int max_n, const std::function<int(const std::string&)>& can_take,
+              bool pop, BatchKey* key_out, Clock::time_point* head_out,
+              Visit&& visit);
+
+  std::unordered_map<std::string, TenantQueue> tenants_;
+  double virtual_time_ = 0.0;
+  uint64_t next_seq_ = 0;
+  int64_t total_depth_ = 0;
+};
+
+/// \brief Multi-tenant serving front-end: admission, micro-batching, QoS.
+class Server {
+ public:
+  Server(Runtime* runtime, ServerOptions options);
+  /// Shutdown(): drains the queue, then joins the dispatcher.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register a graph with the underlying pool; returns its handle
+  /// (content fingerprint, deduplicated).
+  uint64_t RegisterGraph(CsrMatrix abar);
+
+  /// Set QoS knobs for a tenant (otherwise ServerOptions::default_tenant
+  /// applies on first submit). Weight changes apply to future submits.
+  void ConfigureTenant(const std::string& tenant, const TenantOptions& options);
+
+  /// Submit one request. Returns a future resolving to the product (or an
+  /// error). Synchronous rejections: kOverloaded when the tenant's bounded
+  /// queue is full, InvalidArgument for unknown handles / mismatched
+  /// feature shape, Internal after Shutdown. Accepted requests always
+  /// resolve, even across Shutdown.
+  Future<DenseMatrix> Submit(InferRequest request);
+
+  /// Stop admission, serve everything queued (ignoring the time window),
+  /// wait for in-flight batches, join the dispatcher. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+  SessionPool* pool() { return &pool_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    DenseMatrix x;
+    Promise<DenseMatrix> promise;
+    std::string tenant;
+    uint64_t graph = 0;
+    WfqScheduler::Clock::time_point enqueue_time;
+  };
+  struct TenantState {
+    TenantOptions options;
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t rejected = 0;
+    int64_t inflight = 0;
+  };
+  struct BatchJob {
+    uint64_t graph = 0;
+    std::vector<Pending> items;
+    int stream = 0;
+  };
+
+  TenantState& TenantLocked(const std::string& tenant);
+  void DispatcherLoop();
+  void DispatchBatch(BatchJob job);
+  void CompleteBatch(BatchJob job, const Status& status, std::vector<DenseMatrix> zs);
+
+  ServerOptions options_;
+  SessionPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  WfqScheduler sched_;
+  std::unordered_map<uint64_t, Pending> pending_;  // queued payloads by id
+  std::unordered_map<std::string, TenantState> tenants_;
+  uint64_t next_id_ = 0;
+  int64_t inflight_total_ = 0;
+  int64_t batches_ = 0;
+  std::vector<int64_t> batch_size_hist_;
+  std::vector<double> latencies_us_;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,198 @@
+#include "serve/session_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "exec/plan_cache.h"
+#include "runtime/runtime.h"
+
+namespace hcspmm {
+
+namespace {
+
+// Join state for the sharded batch path: every item resolves into its slot,
+// the last one to finish fulfills the batch promise (first error wins, but
+// all items are always awaited so nothing dangles).
+struct BatchJoin {
+  explicit BatchJoin(size_t n) : zs(n), remaining(static_cast<int64_t>(n)) {}
+
+  std::vector<DenseMatrix> zs;
+  std::mutex mu;
+  Status first_error;
+  std::atomic<int64_t> remaining;
+  Promise<std::vector<DenseMatrix>> promise;
+};
+
+}  // namespace
+
+Future<std::vector<DenseMatrix>> PooledSession::MultiplyBatchAsync(
+    std::vector<DenseMatrix> xs, int stream) const {
+  if (session_ != nullptr) {
+    return session_->MultiplyBatchAsync(std::move(xs), /*profile=*/nullptr, stream);
+  }
+  if (xs.empty()) return MakeReadyFuture(std::vector<DenseMatrix>());
+  auto join = std::make_shared<BatchJoin>(xs.size());
+  auto sharded = sharded_;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    // One stream per item so items overlap across each shard's FIFO lanes
+    // (Session mods the index into its stream count).
+    Future<DenseMatrix> item = sharded->MultiplyAsync(
+        std::move(xs[i]), /*profile=*/nullptr, stream + static_cast<int>(i));
+    item.OnReady([join, item, i]() mutable {
+      {
+        std::lock_guard<std::mutex> lk(join->mu);
+        if (item.status().ok()) {
+          join->zs[i] = item.Take();
+        } else if (join->first_error.ok()) {
+          join->first_error = item.status();
+        }
+      }
+      if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (join->first_error.ok()) {
+          join->promise.Set(std::move(join->zs));
+        } else {
+          join->promise.Set(join->first_error);
+        }
+      }
+    });
+  }
+  return join->promise.future();
+}
+
+SessionPool::SessionPool(Runtime* runtime, SessionPoolOptions options)
+    : runtime_(runtime), options_(std::move(options)) {
+  if (options_.max_sessions < 1) options_.max_sessions = 1;
+}
+
+SessionPool::~SessionPool() {
+  // Sessions read the pool-owned CSR while their queued plan build runs, and
+  // an *evicted* session's build may still be pending with the build task as
+  // its only owner. Wait for every surviving backend to finish preprocessing
+  // before the graphs_ map (and the matrices) goes away.
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::shared_ptr<ShardedSession>> sharded;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const std::weak_ptr<Session>& w : ever_opened_) {
+      if (std::shared_ptr<Session> s = w.lock()) sessions.push_back(std::move(s));
+    }
+    for (const std::weak_ptr<ShardedSession>& w : ever_opened_sharded_) {
+      if (std::shared_ptr<ShardedSession> s = w.lock()) sharded.push_back(std::move(s));
+    }
+  }
+  for (const std::shared_ptr<Session>& s : sessions) (void)s->WaitReady();
+  for (const std::shared_ptr<ShardedSession>& s : sharded) (void)s->WaitReady();
+}
+
+uint64_t SessionPool::RegisterGraph(CsrMatrix abar) {
+  const uint64_t handle = FingerprintCsr(abar);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  if (it != graphs_.end()) return handle;  // content-addressed dedup
+  GraphEntry entry;
+  entry.abar = std::make_unique<CsrMatrix>(std::move(abar));
+  graphs_.emplace(handle, std::move(entry));
+  return handle;
+}
+
+bool SessionPool::HasGraph(uint64_t handle) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return graphs_.count(handle) != 0;
+}
+
+int32_t SessionPool::GraphCols(uint64_t handle) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  return it == graphs_.end() ? -1 : it->second.abar->cols();
+}
+
+namespace {
+
+template <typename T>
+void PruneExpired(std::vector<std::weak_ptr<T>>* refs) {
+  refs->erase(std::remove_if(refs->begin(), refs->end(),
+                             [](const std::weak_ptr<T>& w) { return w.expired(); }),
+              refs->end());
+}
+
+}  // namespace
+
+PooledSession SessionPool::OpenLocked(GraphEntry* entry) {
+  PruneExpired(&ever_opened_);
+  PruneExpired(&ever_opened_sharded_);
+  PooledSession opened;
+  if (options_.num_shards > 1) {
+    ShardingOptions sharding = options_.sharding;
+    sharding.num_shards = options_.num_shards;
+    opened.sharded_ =
+        ShardedSession::Open(runtime_, *entry->abar, options_.session, sharding);
+    ever_opened_sharded_.push_back(opened.sharded_);
+  } else {
+    opened.session_ = runtime_->OpenSession(entry->abar.get(), options_.session);
+    ever_opened_.push_back(opened.session_);
+  }
+  ++opened_;
+  return opened;
+}
+
+void SessionPool::EvictToBudgetLocked() {
+  while (resident_ > options_.max_sessions) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    GraphEntry& entry = graphs_.at(victim);
+    entry.open = PooledSession();  // in-flight work holds its own reference
+    entry.resident = false;
+    --resident_;
+    ++evicted_;
+  }
+}
+
+Result<PooledSession> SessionPool::Acquire(uint64_t handle) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  if (it == graphs_.end()) {
+    return Status::InvalidArgument("SessionPool: unknown graph handle " +
+                                   std::to_string(handle));
+  }
+  GraphEntry& entry = it->second;
+  if (entry.resident) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);  // refresh
+    return entry.open;
+  }
+  ++misses_;
+  entry.open = OpenLocked(&entry);
+  entry.resident = true;
+  lru_.push_front(handle);
+  entry.lru_pos = lru_.begin();
+  ++resident_;
+  EvictToBudgetLocked();
+  return entry.open;
+}
+
+bool SessionPool::Evict(uint64_t handle) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  if (it == graphs_.end() || !it->second.resident) return false;
+  lru_.erase(it->second.lru_pos);
+  it->second.open = PooledSession();
+  it->second.resident = false;
+  --resident_;
+  ++evicted_;
+  return true;
+}
+
+SessionPoolStats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SessionPoolStats s;
+  s.graphs = static_cast<int64_t>(graphs_.size());
+  s.resident = resident_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.opened = opened_;
+  s.evicted = evicted_;
+  return s;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,160 @@
+// SessionPool: the long-lived resource manager under the serving layer. It
+// owns the registered graph operands (CSR matrices, deduplicated by content
+// fingerprint — the same FNV-1a hash the PlanCache keys on) and lazily opens
+// one Session (or ShardedSession) per graph on first demand, LRU-evicting
+// open sessions once a configurable budget is exceeded. Eviction only drops
+// the pool's reference: in-flight work holds its own shared_ptr, and the
+// graph itself stays registered, so a re-acquired session rebuilds instantly
+// off the PlanCache (same content fingerprint => plan cache hit). This is
+// the Hyrise StorageManager pattern: named immutable resources behind one
+// concurrent facade.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/session.h"
+#include "shard/sharded_session.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+class Runtime;
+
+/// Configuration for SessionPool.
+struct SessionPoolOptions {
+  /// Budget: max sessions kept open at once (>= 1). The pool LRU-evicts
+  /// beyond it; evicted graphs reopen on demand (cheap on a PlanCache hit).
+  int max_sessions = 8;
+  /// Template for every session the pool opens (kernel/device/dtype/
+  /// threads/streams/selector).
+  SessionOptions session;
+  /// > 1 opens a ShardedSession per graph instead of a plain Session.
+  int num_shards = 1;
+  /// Partitioning knobs, consulted only when num_shards > 1.
+  ShardingOptions sharding;
+};
+
+/// Counters exposed for tests and the serving stats snapshot.
+struct SessionPoolStats {
+  int64_t graphs = 0;    ///< registered distinct graph contents
+  int64_t resident = 0;  ///< sessions currently open
+  int64_t hits = 0;      ///< Acquire found an open session
+  int64_t misses = 0;    ///< Acquire had to (re)open
+  int64_t opened = 0;    ///< sessions opened over the pool's lifetime
+  int64_t evicted = 0;   ///< sessions LRU-evicted
+};
+
+/// \brief Owning handle to a pooled backend (plain or sharded session,
+/// exactly one non-null). Copies share the backend; holding one keeps it
+/// alive across pool eviction.
+class PooledSession {
+ public:
+  PooledSession() = default;
+
+  bool valid() const { return session_ != nullptr || sharded_ != nullptr; }
+
+  /// Non-owning view for the Session-shaped sync API.
+  AggregatorRef ref() const {
+    return session_ != nullptr ? AggregatorRef(session_.get())
+                               : AggregatorRef(sharded_.get());
+  }
+
+  /// Async batched multiply used by the server's micro-batcher. For a plain
+  /// session this is Session::MultiplyBatchAsync verbatim; for a sharded
+  /// backend each item fans out via ShardedSession::MultiplyAsync on its own
+  /// stream and the results join into batch order. Either way every item is
+  /// computed exactly like a direct Multiply on the same input — per-request
+  /// accumulation order never changes, so fp32 results are bit-identical.
+  /// An empty batch resolves immediately.
+  Future<std::vector<DenseMatrix>> MultiplyBatchAsync(std::vector<DenseMatrix> xs,
+                                                      int stream = 0) const;
+
+  /// Block until preprocessing finished; returns its outcome.
+  Status WaitReady() const {
+    return session_ != nullptr ? session_->WaitReady() : sharded_->WaitReady();
+  }
+
+ private:
+  friend class SessionPool;
+
+  std::shared_ptr<Session> session_;
+  std::shared_ptr<ShardedSession> sharded_;
+};
+
+/// \brief Concurrent, LRU-bounded manager of graphs and their sessions.
+class SessionPool {
+ public:
+  SessionPool(Runtime* runtime, SessionPoolOptions options);
+  /// Blocks until every session the pool ever opened (including evicted
+  /// ones still finishing their queued plan build) is done preprocessing —
+  /// sessions read the pool-owned CSR during plan building, so the graphs
+  /// must not be freed under them. Callers must still drain their own
+  /// multiplies and drop PooledSession handles before destroying the pool.
+  ~SessionPool();
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Register a graph operand, taking ownership of the CSR. Returns its
+  /// content fingerprint — the graph handle every subsequent call keys on.
+  /// Registering identical content again returns the same handle without
+  /// storing a second copy (and without touching any open session). The
+  /// graph stays registered for the pool's lifetime; only sessions are
+  /// evicted, so handles never dangle.
+  uint64_t RegisterGraph(CsrMatrix abar);
+
+  bool HasGraph(uint64_t handle) const;
+
+  /// Columns of the registered operand (what x.rows() must equal), or -1
+  /// for an unknown handle — the server validates admission with this.
+  int32_t GraphCols(uint64_t handle) const;
+
+  /// Get-or-open the session for `handle` (refreshing its LRU position).
+  /// Opening is non-blocking — plan building runs on the runtime pool, and
+  /// the returned handle's operations gate on it — and may evict the
+  /// least-recently-used open session to hold the budget. Unknown handles
+  /// return InvalidArgument.
+  Result<PooledSession> Acquire(uint64_t handle);
+
+  /// Drop the open session for `handle` if any (the graph stays). Returns
+  /// true when a session was actually evicted.
+  bool Evict(uint64_t handle);
+
+  SessionPoolStats stats() const;
+
+ private:
+  struct GraphEntry {
+    std::unique_ptr<CsrMatrix> abar;  // stable address: sessions point at it
+    PooledSession open;               // invalid when not resident
+    std::list<uint64_t>::iterator lru_pos;
+    bool resident = false;
+  };
+
+  /// Open a session for the entry (lock held; the open itself is
+  /// non-blocking so the critical section stays short).
+  PooledSession OpenLocked(GraphEntry* entry);
+  void EvictToBudgetLocked();
+
+  Runtime* runtime_;
+  SessionPoolOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, GraphEntry> graphs_;
+  std::list<uint64_t> lru_;  // front = most recently used, resident only
+  /// Weak refs to every backend ever opened; the destructor waits on the
+  /// survivors so no plan-build task outlives the graphs it reads.
+  std::vector<std::weak_ptr<Session>> ever_opened_;
+  std::vector<std::weak_ptr<ShardedSession>> ever_opened_sharded_;
+  int64_t resident_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t opened_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace hcspmm

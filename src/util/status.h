@@ -16,6 +16,10 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  /// Load-shedding backpressure: the request was *rejected before any work
+  /// started* because a bounded queue was full (serving layer admission).
+  /// Distinct from real failures so callers can retry with backoff.
+  kOverloaded,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -43,8 +47,14 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True iff this is a backpressure rejection (kOverloaded) — safe to
+  /// retry later; no side effects happened.
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
