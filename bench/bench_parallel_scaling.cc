@@ -36,6 +36,15 @@ double TimedMultiplyMs(const SpmmEngine& engine, const DenseMatrix& x, DenseMatr
   return timer.ElapsedMs() / kIters;
 }
 
+// Metered host traffic of one multiply (indices + values + gathered
+// features + output), for the bytes/nnz and effective-bandwidth fields.
+int64_t HostBytesPerMultiply(const SpmmEngine& engine, const DenseMatrix& x) {
+  DenseMatrix z;
+  KernelProfile profile;
+  HCSPMM_CHECK_OK(engine.Multiply(x, &z, &profile));
+  return profile.host_bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,6 +70,10 @@ int main(int argc, char** argv) {
 
   DenseMatrix z_serial;
   const double serial_ms = TimedMultiplyMs(serial_engine, x, &z_serial);
+  // Host traffic is thread-count-invariant (same plan, same matrices), so
+  // meter it once; only the effective GB/s varies with the wall clock.
+  const int64_t host_bytes = HostBytesPerMultiply(serial_engine, x);
+  const double bytes_per_nnz = static_cast<double>(host_bytes) / abar.nnz();
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"1", FormatDouble(serial_ms, 2), "1.00", "yes", "0.0e+00"});
@@ -68,7 +81,10 @@ int main(int argc, char** argv) {
   json_points.push_back(JsonObject({JsonField("threads", 1), JsonField("ms", serial_ms),
                                     JsonField("speedup", 1.0),
                                     JsonField("bit_identical", true),
-                                    JsonField("max_abs_diff", 0.0)}));
+                                    JsonField("max_abs_diff", 0.0),
+                                    JsonField("bytes_per_nnz", bytes_per_nnz),
+                                    JsonField("effective_gbps",
+                                              host_bytes / (serial_ms * 1e6))}));
   bool all_identical = true;
   for (int threads : {2, 4, 8}) {
     SpmmEngine engine("hcspmm", &abar, Rtx3090(), DataType::kFp32, threads);
@@ -87,7 +103,9 @@ int main(int argc, char** argv) {
         {JsonField("threads", threads), JsonField("ms", ms),
          JsonField("speedup", serial_ms / ms),
          JsonField("bit_identical", max_diff == 0.0),
-         JsonField("max_abs_diff", max_diff)}));
+         JsonField("max_abs_diff", max_diff),
+         JsonField("bytes_per_nnz", bytes_per_nnz),
+         JsonField("effective_gbps", host_bytes / (ms * 1e6))}));
   }
   PrintTable({"threads", "ms/multiply", "speedup", "bit-identical", "max|diff|"}, rows);
   PrintNote("speedup is bounded by physical cores; expect ~flat on 1-core machines");

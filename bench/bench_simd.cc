@@ -46,6 +46,8 @@ struct Point {
   double max_abs_diff;
   bool bit_identical;
   double gflops_simd;
+  double bytes;          // analytic traffic of one run (reads + writes)
+  double bytes_per_nnz;  // spmm only; 0 elsewhere (field omitted from JSON)
 };
 
 }  // namespace
@@ -86,9 +88,15 @@ int main(int argc, char** argv) {
                     abar.rows(), dim);
     });
     const double flops = 2.0 * static_cast<double>(abar.nnz()) * dim;
+    // Analytic traffic: per nonzero one index + one value + one gathered
+    // feature row, plus the row pointers and the output writes.
+    const double bytes = static_cast<double>(abar.nnz()) * (4.0 + 4.0 + dim * 4.0) +
+                         (abar.rows() + 1) * 8.0 +
+                         static_cast<double>(abar.rows()) * dim * 4.0;
     const double diff = z_scalar.MaxAbsDifference(z_simd);
-    points.push_back(
-        {"spmm", dim, scalar_ms, simd_ms, diff, diff == 0.0, flops / (simd_ms * 1e6)});
+    points.push_back({"spmm", dim, scalar_ms, simd_ms, diff, diff == 0.0,
+                      flops / (simd_ms * 1e6), bytes,
+                      bytes / static_cast<double>(abar.nnz())});
   }
 
   // --- Dense GEMM sweep ----------------------------------------------------
@@ -108,9 +116,11 @@ int main(int argc, char** argv) {
                     m);
     });
     const double flops = 2.0 * m * k * n;
+    const double bytes = (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                          static_cast<double>(m) * n) * 4.0;
     const double diff = c_scalar.MaxAbsDifference(c_simd);
-    points.push_back(
-        {"gemm", n, scalar_ms, simd_ms, diff, diff == 0.0, flops / (simd_ms * 1e6)});
+    points.push_back({"gemm", n, scalar_ms, simd_ms, diff, diff == 0.0,
+                      flops / (simd_ms * 1e6), bytes, 0.0});
   }
 
   // --- Elementwise: ReLU over a large buffer -------------------------------
@@ -125,7 +135,9 @@ int main(int argc, char** argv) {
     const double diff = buf.MaxAbsDifference(buf2);
     points.push_back({"relu", static_cast<int32_t>(1 << 11), scalar_ms, simd_ms,
                       diff, diff == 0.0,
-                      static_cast<double>(n) / (simd_ms * 1e6)});
+                      static_cast<double>(n) / (simd_ms * 1e6),
+                      static_cast<double>(n) * 8.0,  // read + write
+                      0.0});
   }
 
   std::vector<std::vector<std::string>> rows;
@@ -147,13 +159,18 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::vector<std::string> json_points;
     for (const Point& p : points) {
-      json_points.push_back(JsonObject(
-          {JsonField("op", p.op), JsonField("dim", p.dim),
-           JsonField("scalar_ms", p.scalar_ms), JsonField("simd_ms", p.simd_ms),
-           JsonField("speedup", p.scalar_ms / p.simd_ms),
-           JsonField("bit_identical", p.bit_identical),
-           JsonField("max_abs_diff", p.max_abs_diff),
-           JsonField("gflops_simd", p.gflops_simd)}));
+      std::vector<std::string> members = {
+          JsonField("op", p.op), JsonField("dim", p.dim),
+          JsonField("scalar_ms", p.scalar_ms), JsonField("simd_ms", p.simd_ms),
+          JsonField("speedup", p.scalar_ms / p.simd_ms),
+          JsonField("bit_identical", p.bit_identical),
+          JsonField("max_abs_diff", p.max_abs_diff),
+          JsonField("gflops_simd", p.gflops_simd),
+          JsonField("effective_gbps", p.bytes / (p.simd_ms * 1e6))};
+      if (p.bytes_per_nnz > 0.0) {
+        members.push_back(JsonField("bytes_per_nnz", p.bytes_per_nnz));
+      }
+      json_points.push_back(JsonObject(members));
     }
     const std::string report = JsonObject(
         {JsonField("bench", std::string("simd")),

@@ -34,6 +34,10 @@ import sys
 # regression for that bench: tail-latency percentiles under saturation are
 # far noisier than mean wall-clock, so the serving p99 gate only catches
 # pathologies (stalled dispatcher, lost batching), not scheduler jitter.
+# "deterministic_lower" lists fields that are machine-independent and
+# lower-is-better (e.g. metered bytes/nnz): they are gated with a fixed
+# DETERMINISTIC_TOLERANCE instead of --max-regression, so a code change that
+# silently inflates traffic fails even when the wall clock absorbs it.
 # Benches absent from this table are compared structurally only
 # (bit_identical), never on time.
 BENCH_RULES = {
@@ -46,7 +50,17 @@ BENCH_RULES = {
         "rate": "qps",
         "time_slack": 6.0,
     },
+    "compression": {
+        "key": ("scale", "mode"),
+        "time": "ms",
+        "deterministic_lower": ("host_bytes_per_nnz", "index_bytes_per_nnz"),
+    },
 }
+
+# Allowed fractional increase for "deterministic_lower" fields. Not zero
+# only to absorb float formatting round-trips; any real traffic increase is
+# orders of magnitude larger.
+DETERMINISTIC_TOLERANCE = 1e-6
 
 
 def load_report(path):
@@ -73,10 +87,12 @@ def check_pair(name, baseline, current, max_regression):
         print(f"::warning::no gating rule for bench '{name}'; "
               "checking bit_identical flags only")
         key_fields, time_field, rate_field = None, None, None
+        deterministic_fields = ()
         time_slack = 1.0
     else:
         key_fields, time_field = rule["key"], rule["time"]
         rate_field = rule.get("rate")
+        deterministic_fields = rule.get("deterministic_lower", ())
         time_slack = rule.get("time_slack", 1.0)
 
     if key_fields is not None:
@@ -129,6 +145,22 @@ def check_pair(name, baseline, current, max_regression):
                     f"::error::{label} throughput dropped "
                     f"{(1.0 - cur_rate / base_rate) * 100.0:.1f}% "
                     f"(> {max_regression * 100.0:.0f}% allowed)"
+                )
+                failures += 1
+        for field in deterministic_fields:
+            base_val = base_point[field]
+            cur_val = cur_point[field]
+            limit = base_val * (1.0 + DETERMINISTIC_TOLERANCE)
+            verdict = "OK" if cur_val <= limit else "REGRESSION"
+            print(
+                f"{label}: baseline {base_val:.6g} {field}, "
+                f"current {cur_val:.6g} -> {verdict}"
+            )
+            if cur_val > limit:
+                print(
+                    f"::error::{label} {field} increased from {base_val:.6g} "
+                    f"to {cur_val:.6g} (deterministic field, no regression "
+                    "allowed)"
                 )
                 failures += 1
     return failures

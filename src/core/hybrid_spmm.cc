@@ -62,12 +62,23 @@ Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
   if (next_row != a.rows()) {
     return Status::InvalidArgument("plan was built for a different matrix");
   }
+  // The packed sidecar (if any) rides the same structural guard: shape and
+  // population must match the matrix, else the delta stream would decode
+  // columns for a different nonzero layout.
+  const PackedCsr* packed = plan.packed.get();
+  if (packed != nullptr &&
+      (packed->rows() != a.rows() || packed->cols() != a.cols() ||
+       packed->nnz() != a.nnz())) {
+    return Status::InvalidArgument("plan was built for a different matrix");
+  }
   *z = DenseMatrix(a.rows(), x.cols());
 
   // Functional execution: the Tensor path rounds operands to the storage
   // type (TF32 by default); the CUDA path computes in full FP32. Windows
   // cover disjoint row ranges (SS IV-A: no merge step), so they dispatch
-  // across the pool with no synchronization on z.
+  // across the pool with no synchronization on z. The packed index stream
+  // is consulted only by the fp32 SIMD paths (decode order == CSR order,
+  // so results stay bit-identical to plain indices).
   ParallelFor(0, static_cast<int64_t>(ws.size()), opts.num_threads,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
@@ -76,7 +87,7 @@ Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
                   const bool on_tensor = plan.assignment[i] == CoreType::kTensorCore;
                   internal::SpmmRowsRounded(a, x, w.first_row, w.first_row + w.num_rows,
                                             on_tensor ? opts.dtype : DataType::kFp32, z,
-                                            /*num_threads=*/1);
+                                            /*num_threads=*/1, packed);
                 }
               });
 
@@ -96,6 +107,24 @@ Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
       acc.AddBlock(cost, on_tensor);
     }
     acc.Finalize(profile);
+
+    // Host-side bandwidth accounting of the functional pass above (serial
+    // and arithmetic-free, so it is identical for every thread count):
+    // index structure + row offsets + values + gathered feature rows +
+    // the output write. This is the bytes/nnz the compression gate and the
+    // benches' effective-GB/s columns are computed from.
+    const int64_t index_bytes =
+        packed != nullptr
+            ? static_cast<int64_t>(packed->stream().size()) +
+                  static_cast<int64_t>(packed->pack_ptr().size()) * sizeof(uint32_t)
+            : a.nnz() * static_cast<int64_t>(sizeof(int32_t));
+    const int64_t feature_elem_bytes = x.reduced_storage() ? 2 : 4;
+    profile->host_bytes +=
+        index_bytes + static_cast<int64_t>(a.rows() + 1) * sizeof(int64_t) +
+        a.nnz() * static_cast<int64_t>(sizeof(float)) +
+        a.nnz() * static_cast<int64_t>(dim) * feature_elem_bytes +
+        static_cast<int64_t>(a.rows()) * dim * static_cast<int64_t>(sizeof(float));
+    profile->host_nnz += a.nnz();
   }
   return Status::OK();
 }

@@ -3,12 +3,18 @@
 namespace hcspmm {
 
 Result<HybridPlan> Preprocess(const CsrMatrix& csr, const DeviceSpec& dev,
-                              const SelectorModel& selector, int32_t window_height) {
+                              const SelectorModel& selector, int32_t window_height,
+                              bool compress_indices) {
   if (csr.rows() == 0) {
     return Status::InvalidArgument("cannot preprocess an empty matrix");
   }
   HybridPlan plan;
   plan.windows = BuildWindows(csr, window_height);
+  if (compress_indices) {
+    auto packed = PackedCsr::Encode(csr);
+    if (!packed.ok()) return packed.status();
+    plan.packed = std::make_shared<const PackedCsr>(std::move(packed.ValueOrDie()));
+  }
   plan.assignment.reserve(plan.windows.windows.size());
   for (const RowWindow& w : plan.windows.windows) {
     // Empty windows never launch work; count them as CUDA for bookkeeping.

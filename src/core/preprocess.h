@@ -5,9 +5,12 @@
 // cost is amortized — but it is still metered (Table XI).
 #pragma once
 
+#include <memory>
+
 #include "core/core_selector.h"
 #include "core/row_window.h"
 #include "gpusim/profile.h"
+#include "sparse/packed_csr.h"
 #include "util/status.h"
 
 namespace hcspmm {
@@ -18,6 +21,11 @@ struct HybridPlan {
   std::vector<CoreType> assignment;   ///< per-window core choice
   int64_t windows_cuda = 0;
   int64_t windows_tensor = 0;
+  /// Packed (delta-encoded) column-index sidecar, built once here when the
+  /// session opted into compressed indices; null on the plain path. Shared
+  /// through the PlanCache like the rest of the plan, so the encode cost is
+  /// amortized exactly like windowing/classification.
+  std::shared_ptr<const PackedCsr> packed;
   /// Simulated GPU-side preprocessing cost (window stats + condensing +
   /// classification), comparable to DTC-SpMM's GPU preprocessing.
   KernelProfile preprocess_profile;
@@ -31,9 +39,13 @@ inline constexpr double kDtcPreprocCyclesPerNnz = 225.0;
 /// TC-GNN preprocesses on the host: ~67 ns per edge (Table XI, YS).
 inline constexpr double kTcGnnPreprocNsPerNnz = 67.0;
 
-/// Build the plan for `csr` on `dev` using `selector`.
+/// Build the plan for `csr` on `dev` using `selector`. When
+/// `compress_indices` is set the plan additionally carries the PackedCsr
+/// column-index sidecar (requires per-row sorted columns; the encode error
+/// propagates otherwise).
 Result<HybridPlan> Preprocess(const CsrMatrix& csr, const DeviceSpec& dev,
                               const SelectorModel& selector,
-                              int32_t window_height = kRowWindowHeight);
+                              int32_t window_height = kRowWindowHeight,
+                              bool compress_indices = false);
 
 }  // namespace hcspmm

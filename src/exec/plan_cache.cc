@@ -32,6 +32,8 @@ size_t PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
   const int32_t dt = static_cast<int32_t>(k.dtype);
   h = FnvMix(h, &dt, sizeof(dt));
   h = FnvMix(h, &k.selector_params, sizeof(k.selector_params));
+  h = FnvMix(h, &k.index_storage, sizeof(k.index_storage));
+  h = FnvMix(h, &k.feature_precision, sizeof(k.feature_precision));
   return static_cast<size_t>(h);
 }
 
@@ -91,6 +93,7 @@ int64_t PlanMemoryBytes(const HybridPlan& plan) {
              static_cast<int64_t>(w.unique_cols.capacity()) * sizeof(int32_t);
   }
   bytes += static_cast<int64_t>(plan.assignment.capacity()) * sizeof(CoreType);
+  if (plan.packed != nullptr) bytes += plan.packed->MemoryBytes();
   return bytes;
 }
 

@@ -39,11 +39,24 @@ struct PlanCacheKey {
   /// selector route windows differently, so their plans must never alias
   /// the default-selector entries. 0 == the device's default selector.
   uint64_t selector_params = 0;
+  /// Index storage encoding of the plan's execution path: 0 = plain int32
+  /// CSR column indices, 1 = packed delta stream (HybridPlan::packed is
+  /// populated). Separate key bit so compressed and plain plans for the
+  /// same matrix never alias (a plain session must not pay the sidecar,
+  /// and a compressed one must find it built).
+  uint8_t index_storage = 0;
+  /// FeaturePrecision the session feeds the kernels (cast of the enum).
+  /// The plan content is identical across precisions, but keying on it
+  /// keeps fp32 and fp16/bf16 bindings from sharing an entry, mirroring
+  /// the dtype field's role for the simulated tensor path.
+  uint8_t feature_precision = 0;
 
   bool operator==(const PlanCacheKey& o) const {
     return fingerprint == o.fingerprint && rows == o.rows && nnz == o.nnz &&
            device == o.device && device_params == o.device_params &&
-           dtype == o.dtype && selector_params == o.selector_params;
+           dtype == o.dtype && selector_params == o.selector_params &&
+           index_storage == o.index_storage &&
+           feature_precision == o.feature_precision;
   }
 };
 

@@ -34,6 +34,10 @@ struct GnnConfig {
   /// ShardedSession when > 1). Default 1 is the single-Session path; fp32
   /// results are bit-identical for every shard count.
   int num_shards = 1;
+  /// Store the operator's column indices delta/byte-packed and decode them
+  /// in the SIMD SpMM kernels (SessionOptions::set_compress_indices).
+  /// Lossless — training results are bit-identical; only bytes/nnz drops.
+  bool compress_indices = false;
 };
 
 /// Loss and per-phase timing of one training epoch.

@@ -31,8 +31,13 @@ TrainStats TrainGnn(const Graph& graph, GnnModelKind kind,
   // Opening returns immediately: plan building / fingerprinting (for every
   // shard, when sharded) runs on the runtime pool and overlaps the model's
   // weight initialization below; the first epoch's first multiply waits.
-  const SessionOptions options =
+  SessionOptions options =
       SessionOptions().set_kernel(kernel_name).set_device(dev).set_dtype(dtype);
+  // Packed indices only exist on the hcspmm plan; baseline kernels keep
+  // plain CSR (their Table XII numbers must reflect what they store).
+  if (config.compress_indices && kernel_name == "hcspmm") {
+    options.set_compress_indices(true);
+  }
   std::shared_ptr<Session> session;
   std::shared_ptr<ShardedSession> sharded;
   if (config.num_shards > 1) {

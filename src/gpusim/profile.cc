@@ -20,6 +20,8 @@ void KernelProfile::Accumulate(const KernelProfile& other) {
   blocks += other.blocks;
   windows_cuda += other.windows_cuda;
   windows_tensor += other.windows_tensor;
+  host_bytes += other.host_bytes;
+  host_nnz += other.host_nnz;
 }
 
 std::string KernelProfile::ToString() const {

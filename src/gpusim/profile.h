@@ -33,9 +33,23 @@ struct KernelProfile {
   int64_t windows_cuda = 0;    // row windows routed to CUDA cores
   int64_t windows_tensor = 0;  // row windows routed to Tensor cores
 
+  // Host-side bandwidth accounting of the functional execution: bytes the
+  // CPU hot loops actually stream (row_ptr + column indices — packed or
+  // plain — + values + gathered feature rows + output), and the nonzeros
+  // they cover. Deterministic (no wall clock involved), so benches divide
+  // host_bytes by measured time for effective GB/s and by host_nnz for the
+  // bytes/nnz the compressed path is gated on.
+  int64_t host_bytes = 0;
+  int64_t host_nnz = 0;
+
   double TotalNs() const { return time_ns + launch_ns; }
   double TotalUs() const { return TotalNs() / 1e3; }
   double TotalMs() const { return TotalNs() / 1e6; }
+
+  /// Host bytes streamed per nonzero covered (0 when nothing was metered).
+  double HostBytesPerNnz() const {
+    return host_nnz > 0 ? static_cast<double>(host_bytes) / host_nnz : 0.0;
+  }
 
   /// Memory-to-compute cost ratio on the CUDA-core path (Table I "m/c(C)").
   double CudaMemToCompute() const {

@@ -9,6 +9,7 @@
 #include "kernels/cuda_optimized.h"
 #include "kernels/tensor_basic.h"
 #include "kernels/tensor_optimized.h"
+#include "sparse/packed_csr.h"
 #include "util/simd.h"
 
 namespace hcspmm {
@@ -18,23 +19,55 @@ namespace internal {
 namespace {
 
 void SpmmRowsSerial(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
-                    int32_t row_end, DataType dtype, DenseMatrix* z) {
+                    int32_t row_end, DataType dtype, DenseMatrix* z,
+                    const PackedCsr* packed) {
   const int32_t dim = x.cols();
   if (dtype == DataType::kFp32) {
     // Vectorized along the independent output-column axis with separate
     // mul + add, so each output element keeps the scalar accumulation order
-    // (bit-identical for every SimdLevel; see util/simd.h).
-    simd::Active().spmm_rows(a.row_ptr().data(), a.col_ind().data(),
-                             a.val().data(), x.RowData(0), z->MutableRowData(0),
-                             row_begin, row_end, dim);
+    // (bit-identical for every SimdLevel; see util/simd.h). The packed and
+    // reduced-precision variants feed the same per-nonzero axpy, so packing
+    // stays bitwise-lossless and precision only changes the X load.
+    const simd::SimdKernels& k = simd::Active();
+    if (x.reduced_storage()) {
+      const bool bf16 = x.precision() == FeaturePrecision::kBf16;
+      if (packed != nullptr) {
+        k.spmm_rows_packed_half(a.row_ptr().data(), packed->stream().data(),
+                                packed->pack_ptr().data(), a.val().data(),
+                                x.HalfRowData(0), z->MutableRowData(0), row_begin,
+                                row_end, dim, bf16);
+      } else {
+        k.spmm_rows_half(a.row_ptr().data(), a.col_ind().data(), a.val().data(),
+                         x.HalfRowData(0), z->MutableRowData(0), row_begin, row_end,
+                         dim, bf16);
+      }
+    } else if (packed != nullptr) {
+      k.spmm_rows_packed(a.row_ptr().data(), packed->stream().data(),
+                         packed->pack_ptr().data(), a.val().data(), x.RowData(0),
+                         z->MutableRowData(0), row_begin, row_end, dim);
+    } else {
+      k.spmm_rows(a.row_ptr().data(), a.col_ind().data(), a.val().data(),
+                  x.RowData(0), z->MutableRowData(0), row_begin, row_end, dim);
+    }
     return;
   }
+  // Rounded (simulated tensor-path) windows: scalar reference loop. Packed
+  // indices are not consulted here — col_ind is resident either way, and
+  // rounding already dominates; ValueAt widens reduced X exactly before the
+  // dtype rounding, matching what the hardware would see after upconvert.
   for (int32_t r = row_begin; r < row_end; ++r) {
     float* zr = z->MutableRowData(r);
     for (int64_t k = a.RowBegin(r); k < a.RowEnd(r); ++k) {
       const float v = RoundTo(dtype, a.val()[k]);
-      const float* xr = x.RowData(a.col_ind()[k]);
-      for (int32_t j = 0; j < dim; ++j) zr[j] += v * RoundTo(dtype, xr[j]);
+      const int32_t col = a.col_ind()[k];
+      if (x.reduced_storage()) {
+        for (int32_t j = 0; j < dim; ++j) {
+          zr[j] += v * RoundTo(dtype, x.ValueAt(col, j));
+        }
+      } else {
+        const float* xr = x.RowData(col);
+        for (int32_t j = 0; j < dim; ++j) zr[j] += v * RoundTo(dtype, xr[j]);
+      }
     }
   }
 }
@@ -43,14 +76,14 @@ void SpmmRowsSerial(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
 
 void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
                      int32_t row_end, DataType dtype, DenseMatrix* z,
-                     int num_threads) {
+                     int num_threads, const PackedCsr* packed) {
   // Rows are written disjointly, so the partition only changes which thread
   // produces a row, never the arithmetic within it.
   ParallelFor(
       row_begin, row_end, num_threads,
       [&](int64_t b, int64_t e) {
         SpmmRowsSerial(a, x, static_cast<int32_t>(b), static_cast<int32_t>(e), dtype,
-                       z);
+                       z, packed);
       },
       /*grain=*/kRowWindowHeight);
 }

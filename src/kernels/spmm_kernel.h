@@ -46,6 +46,8 @@ class SpmmKernel {
                      KernelProfile* profile) const = 0;
 };
 
+class PackedCsr;
+
 namespace internal {
 
 /// Functional CSR SpMM over a row range with operand rounding emulating the
@@ -53,9 +55,16 @@ namespace internal {
 /// `num_threads` partitions the rows across the global ThreadPool (<= 0 =>
 /// hardware concurrency); each row is produced by exactly one thread with an
 /// unchanged accumulation order, so results match the serial loop bit-for-bit.
+///
+/// When `packed` is non-null (a PackedCsr built from `a`), the fp32 path
+/// decodes column indices from the packed stream instead of a.col_ind() —
+/// same axpy order, bit-identical result, fewer index bytes streamed. X may
+/// be in reduced (fp16/bf16) storage: values widen to fp32 on load and
+/// accumulation stays fp32 (deterministic, but not bit-identical to fp32
+/// storage).
 void SpmmRowsRounded(const CsrMatrix& a, const DenseMatrix& x, int32_t row_begin,
                      int32_t row_end, DataType dtype, DenseMatrix* z,
-                     int num_threads = 1);
+                     int num_threads = 1, const PackedCsr* packed = nullptr);
 
 }  // namespace internal
 

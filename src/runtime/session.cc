@@ -46,23 +46,34 @@ Status Session::Initialize() {
   // source, so nothing is recomputed.
   const WindowedCsr* windows = nullptr;
   WindowedCsr local_windows;
+  if (options_.compress_indices() && options_.kernel_name() != "hcspmm") {
+    return Status::InvalidArgument(
+        "compress_indices requires the 'hcspmm' kernel (only its plan "
+        "carries the packed index sidecar)");
+  }
   if (options_.kernel_name() == "hcspmm") {
     // An injected selector classifies windows differently, so its plans get
     // a selector-fingerprinted cache key (never aliasing default plans).
     const SelectorModel selector =
         options_.has_selector() ? options_.selector()
                                 : DefaultSelectorModelFor(options_.device().name);
-    const PlanCacheKey key =
+    PlanCacheKey key =
         options_.has_selector()
             ? MakePlanCacheKey(*abar_, options_.device(), options_.dtype(), selector)
             : MakePlanCacheKey(*abar_, options_.device(), options_.dtype());
+    // Compressed/plain and fp32/reduced bindings never alias: the packed
+    // sidecar must exist exactly when requested, and precision tags keep
+    // the cache honest about what the session feeds the kernels.
+    key.index_storage = options_.compress_indices() ? 1 : 0;
+    key.feature_precision = static_cast<uint8_t>(options_.feature_precision());
     content_fingerprint_ = key.fingerprint;
     plan_ = cache_->Lookup(key);
     if (plan_ != nullptr) {
       plan_from_cache_ = true;
       preprocess_ns_ = 0.0;
     } else {
-      auto plan = Preprocess(*abar_, options_.device(), selector);
+      auto plan = Preprocess(*abar_, options_.device(), selector, kRowWindowHeight,
+                             options_.compress_indices());
       HCSPMM_RETURN_NOT_OK(plan.status());
       preprocess_ns_ = plan.ValueOrDie().preprocess_profile.TotalNs();
       // Detach the plan from this particular matrix object before sharing:
@@ -98,8 +109,13 @@ Status Session::Initialize() {
   if (name == "hcspmm") {
     // CSR (for CUDA windows) + condensed metadata (for Tensor windows) +
     // the per-window boolean core array: the "additional data structure"
-    // behind Table XII's +2% / +6%.
+    // behind Table XII's +2% / +6%. The packed index sidecar (when enabled)
+    // is additional resident structure too — but it *replaces* the 4 B/nnz
+    // plain col_ind on the hot path, so Table XII can show the net saving.
     aux_bytes_ = condensed_bytes + num_windows * (16 + 1) + abar_->nnz() * 3;
+    if (plan_ != nullptr && plan_->packed != nullptr) {
+      aux_bytes_ += plan_->packed->MemoryBytes();
+    }
   } else if (name == "tcgnn") {
     preprocess_ns_ = TcGnnLikeSpmm::PreprocessNs(*abar_);
     aux_bytes_ = condensed_bytes;  // condensed format replaces workspace
@@ -139,6 +155,17 @@ uint64_t Session::content_fingerprint() const {
 
 Status Session::MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
                                     KernelProfile* profile, int num_threads) const {
+  // Reduced-precision feature path: convert X once per multiply into the
+  // session's storage precision (round-to-nearest-even, deterministic), so
+  // the kernels stream 2 bytes/element. Inputs already stored at the target
+  // precision pass through untouched; the output z is always fp32.
+  const DenseMatrix* input = &x;
+  DenseMatrix converted;
+  if (options_.feature_precision() != FeaturePrecision::kFp32 &&
+      x.precision() != options_.feature_precision()) {
+    converted = x.ToPrecision(options_.feature_precision());
+    input = &converted;
+  }
   KernelProfile local;
   KernelOptions opts;
   opts.dtype = options_.dtype();
@@ -146,12 +173,13 @@ Status Session::MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
   Status st;
   if (plan_ != nullptr) {
     const auto* hc = static_cast<const HcSpmm*>(kernel_.get());
-    st = hc->RunWithPlan(*plan_, *abar_, x, options_.device(), opts, z, &local);
+    st = hc->RunWithPlan(*plan_, *abar_, *input, options_.device(), opts, z, &local);
   } else if (have_windows_) {
     const auto* co = static_cast<const CudaOptimizedSpmm*>(kernel_.get());
-    st = co->RunWithWindows(windows_, *abar_, x, options_.device(), opts, z, &local);
+    st = co->RunWithWindows(windows_, *abar_, *input, options_.device(), opts, z,
+                            &local);
   } else {
-    st = kernel_->Run(*abar_, x, options_.device(), opts, z, &local);
+    st = kernel_->Run(*abar_, *input, options_.device(), opts, z, &local);
   }
   if (st.ok() && profile != nullptr) profile->Accumulate(local);
   return st;

@@ -61,6 +61,26 @@ class SessionOptions {
     has_selector_ = true;
     return *this;
   }
+  /// Store the column indices of the bound matrix as a packed
+  /// (delta-encoded) byte stream decoded inline in the SIMD SpMM kernels,
+  /// cutting index traffic from 4 bytes/nnz to ~1 on sorted adjacency.
+  /// Lossless: fp32 results stay bit-identical to the plain path. Only the
+  /// "hcspmm" kernel supports it (its plan carries the sidecar); opening a
+  /// session with another kernel and this flag fails with InvalidArgument,
+  /// as does a matrix whose rows are not column-sorted.
+  SessionOptions& set_compress_indices(bool on) {
+    compress_indices_ = on;
+    return *this;
+  }
+  /// Storage precision of the dense features the kernels consume. fp32
+  /// (default) is the bit-identical path. kFp16/kBf16 convert X once per
+  /// multiply into 2-byte storage, widen per element on load, and
+  /// accumulate in fp32 — deterministic across SIMD levels/threads/shards,
+  /// but *not* bit-identical to fp32 (documented error-bound contract).
+  SessionOptions& set_feature_precision(FeaturePrecision p) {
+    feature_precision_ = p;
+    return *this;
+  }
 
   const std::string& kernel_name() const { return kernel_name_; }
   const DeviceSpec& device() const { return device_; }
@@ -69,6 +89,8 @@ class SessionOptions {
   int num_streams() const { return num_streams_; }
   bool has_selector() const { return has_selector_; }
   const SelectorModel& selector() const { return selector_; }
+  bool compress_indices() const { return compress_indices_; }
+  FeaturePrecision feature_precision() const { return feature_precision_; }
 
  private:
   std::string kernel_name_ = "hcspmm";
@@ -78,6 +100,8 @@ class SessionOptions {
   int num_streams_ = 2;
   SelectorModel selector_;
   bool has_selector_ = false;
+  bool compress_indices_ = false;
+  FeaturePrecision feature_precision_ = FeaturePrecision::kFp32;
 };
 
 class Runtime;

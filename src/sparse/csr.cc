@@ -59,9 +59,9 @@ void CsrMatrix::SortRows() {
 }
 
 int64_t CsrMatrix::MemoryBytes() const {
-  return static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t) +
-                              col_ind_.size() * sizeof(int32_t) +
-                              val_.size() * sizeof(float));
+  return static_cast<int64_t>(row_ptr_.capacity() * sizeof(int64_t) +
+                              col_ind_.capacity() * sizeof(int32_t) +
+                              val_.capacity() * sizeof(float));
 }
 
 }  // namespace hcspmm

@@ -41,7 +41,9 @@ class CsrMatrix {
   /// Sort the column indices (and values) within each row.
   void SortRows();
 
-  /// Approximate resident bytes of the CSR arrays.
+  /// Exact resident bytes of the CSR arrays (vector capacities, which is
+  /// what the allocator actually holds — size == capacity for matrices
+  /// built by CooToCsr/generators).
   int64_t MemoryBytes() const;
 
  private:

@@ -1,0 +1,93 @@
+#include "sparse/packed_csr.h"
+
+#include <limits>
+#include <string>
+
+#include "util/packed_index.h"
+
+namespace hcspmm {
+
+Result<PackedCsr> PackedCsr::Encode(const CsrMatrix& csr) {
+  PackedCsr out;
+  out.rows_ = csr.rows();
+  out.cols_ = csr.cols();
+  out.nnz_ = csr.nnz();
+
+  // Sizing pass: exact stream length, and the sortedness/range check — the
+  // decoder assumes non-negative deltas, so unsorted input must be rejected
+  // here rather than silently round-tripping wrong.
+  int64_t total_bytes = 0;
+  for (int32_t r = 0; r < csr.rows(); ++r) {
+    int32_t prev = 0;
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      const int32_t col = csr.col_ind()[k];
+      if (col < 0 || col >= csr.cols()) {
+        return Status::InvalidArgument(
+            "PackedCsr::Encode: column index out of range in row " +
+            std::to_string(r));
+      }
+      if (col < prev) {
+        return Status::InvalidArgument(
+            "PackedCsr::Encode requires columns sorted non-decreasing within "
+            "each row (row " +
+            std::to_string(r) + " is unsorted; call CsrMatrix::SortRows first)");
+      }
+      total_bytes += packed::EncodedDeltaBytes(static_cast<uint32_t>(col - prev));
+      prev = col;
+    }
+  }
+  if (total_bytes > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "PackedCsr::Encode: packed stream would exceed the 4 GiB uint32 "
+        "offset limit");
+  }
+
+  out.stream_.resize(static_cast<size_t>(total_bytes));
+  out.pack_ptr_.resize(static_cast<size_t>(csr.rows()) + 1);
+  uint8_t* cursor = out.stream_.data();
+  const uint8_t* base = cursor;
+  out.pack_ptr_[0] = 0;
+  for (int32_t r = 0; r < csr.rows(); ++r) {
+    int32_t prev = 0;
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      const int32_t col = csr.col_ind()[k];
+      cursor = packed::EncodeDelta(cursor, static_cast<uint32_t>(col - prev));
+      prev = col;
+    }
+    out.pack_ptr_[r + 1] = static_cast<uint32_t>(cursor - base);
+  }
+  out.stream_.shrink_to_fit();
+  out.pack_ptr_.shrink_to_fit();
+  return out;
+}
+
+Status PackedCsr::DecodeRow(int32_t r, std::vector<int32_t>* cols) const {
+  if (r < 0 || r >= rows_) {
+    return Status::OutOfRange("PackedCsr::DecodeRow: row " + std::to_string(r) +
+                              " out of range [0, " + std::to_string(rows_) + ")");
+  }
+  cols->clear();
+  const uint8_t* p = stream_.data() + pack_ptr_[r];
+  const uint8_t* end = stream_.data() + pack_ptr_[r + 1];
+  int64_t col = 0;
+  while (p < end) {
+    uint32_t delta = 0;
+    p = packed::DecodeDelta(p, &delta);
+    col += delta;
+    cols->push_back(static_cast<int32_t>(col));
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> PackedCsr::DecodeAll() const {
+  std::vector<int32_t> all;
+  all.reserve(static_cast<size_t>(nnz_));
+  std::vector<int32_t> row;
+  for (int32_t r = 0; r < rows_; ++r) {
+    DecodeRow(r, &row);  // cannot fail: r is in range
+    all.insert(all.end(), row.begin(), row.end());
+  }
+  return all;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,74 @@
+// PackedCsr: a lossless, delta/byte-packed sidecar for the column indices
+// of a sorted CSR matrix. SpMM is bandwidth-bound here, and plain CSR
+// spends 4 bytes per nonzero on the column index alone; adjacency rows are
+// sorted with small gaps, so delta encoding (util/packed_index.h) brings
+// that close to 1 byte/nnz. The stream is decoded inline in the SIMD SpMM
+// hot loops — decode order equals CSR order, so the fp32 result stays
+// bit-identical to the plain-index path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// \brief Immutable packed column-index stream for one CsrMatrix.
+///
+/// Built once at plan-build time (Preprocess) and shared by every session
+/// bound to the same matrix content via the PlanCache. Row r's deltas live
+/// in stream[pack_ptr[r], pack_ptr[r+1]); the nonzero *count* per row still
+/// comes from the matrix's row_ptr (values are unchanged), so the sidecar
+/// adds only the byte stream plus one uint32 offset per row.
+class PackedCsr {
+ public:
+  PackedCsr() = default;
+
+  /// Encode the column indices of `csr`. Requires columns sorted
+  /// non-decreasing within every row (CooToCsr output qualifies); returns
+  /// InvalidArgument otherwise, and on streams >= 4 GiB (the uint32
+  /// pack_ptr limit — such matrices would not benefit from packing anyway).
+  static Result<PackedCsr> Encode(const CsrMatrix& csr);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return nnz_; }
+
+  const std::vector<uint8_t>& stream() const { return stream_; }
+  const std::vector<uint32_t>& pack_ptr() const { return pack_ptr_; }
+
+  /// Decode row r's column indices (appended to *cols, which is cleared).
+  /// Walks the stream until the row's byte boundary, so it needs no
+  /// external nnz count. OutOfRange for an invalid row.
+  Status DecodeRow(int32_t r, std::vector<int32_t>* cols) const;
+
+  /// Decode the whole stream back to plain int32 column indices (the
+  /// round-trip oracle used by tests and the structural validator).
+  std::vector<int32_t> DecodeAll() const;
+
+  /// Exact resident bytes of the sidecar (stream + pack_ptr capacities).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(stream_.capacity() * sizeof(uint8_t) +
+                                pack_ptr_.capacity() * sizeof(uint32_t));
+  }
+
+  /// Index-structure bytes per nonzero: (stream + pack_ptr) / nnz. The
+  /// plain-CSR equivalent is sizeof(int32) = 4.0.
+  double IndexBytesPerNnz() const {
+    if (nnz_ == 0) return 0.0;
+    return static_cast<double>(stream_.size() * sizeof(uint8_t) +
+                               pack_ptr_.size() * sizeof(uint32_t)) /
+           static_cast<double>(nnz_);
+  }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  int64_t nnz_ = 0;
+  std::vector<uint8_t> stream_;
+  std::vector<uint32_t> pack_ptr_;  // rows + 1 byte offsets into stream_
+};
+
+}  // namespace hcspmm

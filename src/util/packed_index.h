@@ -1,0 +1,75 @@
+// Byte-level format of the packed (delta-encoded) CSR column-index stream
+// shared by the encoder (sparse/packed_csr.cc) and the SIMD decode kernels
+// (util/simd_kernels_impl.h). Kept dependency-free so the per-ISA
+// translation units can include it without pulling the sparse layer in.
+//
+// Per row, column indices are stored as non-negative deltas from the
+// previous column (the first delta is from an implicit column 0). Each
+// delta occupies one little-endian lane:
+//   delta <= 0xFD          -> 1 byte, the delta itself
+//   delta <= 0xFFFF        -> 0xFE escape + 2-byte LE payload
+//   otherwise              -> 0xFF escape + 4-byte LE payload
+// The common case on graph adjacency (small within-row gaps) is 1 byte per
+// nonzero vs. 4 bytes for a plain int32 column index.
+#pragma once
+
+#include <cstdint>
+
+namespace hcspmm {
+namespace packed {
+
+/// Largest delta stored inline in a single byte.
+inline constexpr uint32_t kMaxInlineDelta = 0xFD;
+/// Escape byte: the next 2 bytes are a little-endian uint16 delta.
+inline constexpr uint8_t kEscape16 = 0xFE;
+/// Escape byte: the next 4 bytes are a little-endian uint32 delta.
+inline constexpr uint8_t kEscape32 = 0xFF;
+
+/// Bytes one encoded delta occupies in the stream.
+inline int32_t EncodedDeltaBytes(uint32_t delta) {
+  if (delta <= kMaxInlineDelta) return 1;
+  if (delta <= 0xFFFFu) return 3;
+  return 5;
+}
+
+/// Append one delta to `out` (which must have room; see EncodedDeltaBytes).
+/// Returns the advanced write cursor.
+inline uint8_t* EncodeDelta(uint8_t* out, uint32_t delta) {
+  if (delta <= kMaxInlineDelta) {
+    *out++ = static_cast<uint8_t>(delta);
+    return out;
+  }
+  if (delta <= 0xFFFFu) {
+    *out++ = kEscape16;
+    *out++ = static_cast<uint8_t>(delta & 0xFF);
+    *out++ = static_cast<uint8_t>(delta >> 8);
+    return out;
+  }
+  *out++ = kEscape32;
+  *out++ = static_cast<uint8_t>(delta & 0xFF);
+  *out++ = static_cast<uint8_t>((delta >> 8) & 0xFF);
+  *out++ = static_cast<uint8_t>((delta >> 16) & 0xFF);
+  *out++ = static_cast<uint8_t>(delta >> 24);
+  return out;
+}
+
+/// Decode one delta from `p` into *delta; returns the advanced read cursor.
+/// The hot-loop counterpart of EncodeDelta — branch-predictable because the
+/// 1-byte case dominates on sorted adjacency rows.
+inline const uint8_t* DecodeDelta(const uint8_t* p, uint32_t* delta) {
+  const uint8_t b = *p++;
+  if (b < kEscape16) {
+    *delta = b;
+    return p;
+  }
+  if (b == kEscape16) {
+    *delta = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8);
+    return p + 2;
+  }
+  *delta = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  return p + 4;
+}
+
+}  // namespace packed
+}  // namespace hcspmm

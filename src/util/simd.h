@@ -35,6 +35,29 @@ struct SimdKernels {
                     const float* x, float* z, int32_t row_begin, int32_t row_end,
                     int32_t dim);
 
+  /// spmm_rows over a packed (delta-encoded) column-index stream
+  /// (util/packed_index.h format; row r's bytes start at stream +
+  /// pack_ptr[r]). Columns are decoded inline per nonzero in CSR order, so
+  /// the axpy sequence — and therefore the fp32 result — is bit-identical
+  /// to spmm_rows on the plain indices.
+  void (*spmm_rows_packed)(const int64_t* row_ptr, const uint8_t* stream,
+                           const uint32_t* pack_ptr, const float* val, const float* x,
+                           float* z, int32_t row_begin, int32_t row_end, int32_t dim);
+
+  /// spmm_rows reading X from reduced-precision storage: raw fp16 (bf16 ==
+  /// false) or bf16 bit patterns, widened to fp32 per element on load;
+  /// accumulation stays fp32 in the scalar order. Identical across SIMD
+  /// levels/threads, but not to the fp32-storage result.
+  void (*spmm_rows_half)(const int64_t* row_ptr, const int32_t* col_ind,
+                         const float* val, const uint16_t* x, float* z,
+                         int32_t row_begin, int32_t row_end, int32_t dim, bool bf16);
+
+  /// Packed indices + reduced-precision X combined (both compressions).
+  void (*spmm_rows_packed_half)(const int64_t* row_ptr, const uint8_t* stream,
+                                const uint32_t* pack_ptr, const float* val,
+                                const uint16_t* x, float* z, int32_t row_begin,
+                                int32_t row_end, int32_t dim, bool bf16);
+
   /// C[i, :] += A[i, k] * B[k, :] over i in [row_begin, row_end); A is
   /// (rows x a_cols), B is (a_cols x b_cols), zero A entries skipped.
   void (*gemm_rows)(const float* a, const float* b, float* c, int32_t a_cols,

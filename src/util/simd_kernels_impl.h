@@ -27,6 +27,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "util/half.h"
+#include "util/packed_index.h"
 #include "util/simd.h"
 
 namespace hcspmm {
@@ -52,6 +54,110 @@ void SpmmRowsT(const int64_t* row_ptr, const int32_t* col_ind, const float* val,
     for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       AxpyRowT<T>(val[k], x + static_cast<int64_t>(col_ind[k]) * dim, zr, dim);
     }
+  }
+}
+
+// spmm_rows over the packed delta stream: columns are reconstructed with
+// integer adds in CSR order and each nonzero feeds the *same* AxpyRowT the
+// plain path uses, so the floating-point sequence per output element is
+// unchanged — bit-identical to SpmmRowsT at every width.
+template <typename T>
+void SpmmRowsPackedT(const int64_t* row_ptr, const uint8_t* stream,
+                     const uint32_t* pack_ptr, const float* val, const float* x,
+                     float* z, int32_t row_begin, int32_t row_end, int32_t dim) {
+  for (int32_t r = row_begin; r < row_end; ++r) {
+    float* zr = z + static_cast<int64_t>(r) * dim;
+    const uint8_t* p = stream + pack_ptr[r];
+    int64_t col = 0;
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      uint32_t delta;
+      p = packed::DecodeDelta(p, &delta);
+      col += delta;
+      AxpyRowT<T>(val[k], x + col * dim, zr, dim);
+    }
+  }
+}
+
+// W lanes of reduced-precision storage widened to an fp32 vector. The
+// per-lane scalar conversions are exact, so the value each lane carries is
+// identical to what the scalar tail computes — no Traits extension needed.
+template <typename T, bool kBf16>
+inline typename T::VF LoadHalfF(const uint16_t* p) {
+  alignas(64) float tmp[T::kWidth];
+  for (int32_t l = 0; l < T::kWidth; ++l) {
+    tmp[l] = kBf16 ? Bf16BitsToF32(p[l]) : F16BitsToF32(p[l]);
+  }
+  return T::LoadF(tmp);
+}
+
+// dst[0, n) += s * widen(src[0, n)) — the axpy of the reduced-precision
+// feature path (fp32 accumulate; only the X load narrows).
+template <typename T, bool kBf16>
+inline void AxpyRowHalfT(float s, const uint16_t* src, float* dst, int32_t n) {
+  typename T::VF vs = T::BroadcastF(s);
+  int32_t j = 0;
+  for (; j + T::kWidth <= n; j += T::kWidth) {
+    T::StoreF(dst + j,
+              T::AddF(T::LoadF(dst + j), T::MulF(vs, LoadHalfF<T, kBf16>(src + j))));
+  }
+  for (; j < n; ++j) {
+    dst[j] += s * (kBf16 ? Bf16BitsToF32(src[j]) : F16BitsToF32(src[j]));
+  }
+}
+
+template <typename T, bool kBf16>
+void SpmmRowsHalfImpl(const int64_t* row_ptr, const int32_t* col_ind,
+                      const float* val, const uint16_t* x, float* z,
+                      int32_t row_begin, int32_t row_end, int32_t dim) {
+  for (int32_t r = row_begin; r < row_end; ++r) {
+    float* zr = z + static_cast<int64_t>(r) * dim;
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      AxpyRowHalfT<T, kBf16>(val[k], x + static_cast<int64_t>(col_ind[k]) * dim, zr,
+                             dim);
+    }
+  }
+}
+
+template <typename T>
+void SpmmRowsHalfT(const int64_t* row_ptr, const int32_t* col_ind, const float* val,
+                   const uint16_t* x, float* z, int32_t row_begin, int32_t row_end,
+                   int32_t dim, bool bf16) {
+  if (bf16) {
+    SpmmRowsHalfImpl<T, true>(row_ptr, col_ind, val, x, z, row_begin, row_end, dim);
+  } else {
+    SpmmRowsHalfImpl<T, false>(row_ptr, col_ind, val, x, z, row_begin, row_end, dim);
+  }
+}
+
+template <typename T, bool kBf16>
+void SpmmRowsPackedHalfImpl(const int64_t* row_ptr, const uint8_t* stream,
+                            const uint32_t* pack_ptr, const float* val,
+                            const uint16_t* x, float* z, int32_t row_begin,
+                            int32_t row_end, int32_t dim) {
+  for (int32_t r = row_begin; r < row_end; ++r) {
+    float* zr = z + static_cast<int64_t>(r) * dim;
+    const uint8_t* p = stream + pack_ptr[r];
+    int64_t col = 0;
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      uint32_t delta;
+      p = packed::DecodeDelta(p, &delta);
+      col += delta;
+      AxpyRowHalfT<T, kBf16>(val[k], x + col * dim, zr, dim);
+    }
+  }
+}
+
+template <typename T>
+void SpmmRowsPackedHalfT(const int64_t* row_ptr, const uint8_t* stream,
+                         const uint32_t* pack_ptr, const float* val,
+                         const uint16_t* x, float* z, int32_t row_begin,
+                         int32_t row_end, int32_t dim, bool bf16) {
+  if (bf16) {
+    SpmmRowsPackedHalfImpl<T, true>(row_ptr, stream, pack_ptr, val, x, z, row_begin,
+                                    row_end, dim);
+  } else {
+    SpmmRowsPackedHalfImpl<T, false>(row_ptr, stream, pack_ptr, val, x, z, row_begin,
+                                     row_end, dim);
   }
 }
 
@@ -231,6 +337,9 @@ SimdKernels MakeKernels(SimdLevel level) {
   SimdKernels k;
   k.level = level;
   k.spmm_rows = &SpmmRowsT<T>;
+  k.spmm_rows_packed = &SpmmRowsPackedT<T>;
+  k.spmm_rows_half = &SpmmRowsHalfT<T>;
+  k.spmm_rows_packed_half = &SpmmRowsPackedHalfT<T>;
   k.gemm_rows = &GemmRowsT<T>;
   k.gemm_ta_rows = &GemmTransARowsT<T>;
   k.gemm_tb_rows = &GemmTransBRowsT<T>;
