@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py.
+
+Builds tiny baseline/current JSON fixtures in a temp dir and asserts the
+gate's exit code on each path that has bitten before: the no-rule fallback
+(must fail on a false bit_identical flag instead of passing vacuously),
+missing points, rate floors, and deterministic lower-is-better fields.
+Runs the gate as a subprocess — the same entry point CI uses — so argument
+parsing and exit codes are covered too. Exits non-zero on the first
+mismatch; CI runs it next to the real bench-artifact gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def write_report(directory, filename, bench, points):
+    path = os.path.join(directory, filename)
+    with open(path, "w") as f:
+        json.dump({"bench": bench, "points": points}, f)
+    return path
+
+
+def run_gate(*argv):
+    proc = subprocess.run(
+        [sys.executable, GATE, *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+CHECKS = []
+
+
+def check(name):
+    def wrap(fn):
+        CHECKS.append((name, fn))
+        return fn
+    return wrap
+
+
+@check("no-rule bench fails on bit_identical: false")
+def _(tmp):
+    base = write_report(tmp, "b.json", "unknown_bench",
+                        [{"ms": 1.0, "bit_identical": True}])
+    cur = write_report(tmp, "c.json", "unknown_bench",
+                       [{"ms": 1.0, "bit_identical": False}])
+    code, out = run_gate(base, cur)
+    assert code != 0, out
+    assert "not bit-identical" in out, out
+
+
+@check("no-rule bench passes when flags are true")
+def _(tmp):
+    base = write_report(tmp, "b.json", "unknown_bench",
+                        [{"ms": 1.0, "bit_identical": True}])
+    cur = write_report(tmp, "c.json", "unknown_bench",
+                       [{"ms": 99.0, "bit_identical": True}])
+    code, out = run_gate(base, cur)
+    assert code == 0, out  # no rule => no time gate, flags are all it checks
+
+
+@check("missing point fails")
+def _(tmp):
+    base = write_report(tmp, "b.json", "parallel_scaling",
+                        [{"threads": 1, "ms": 1.0},
+                         {"threads": 2, "ms": 0.6}])
+    cur = write_report(tmp, "c.json", "parallel_scaling",
+                       [{"threads": 1, "ms": 1.0}])
+    code, out = run_gate(base, cur)
+    assert code != 0, out
+    assert "missing point" in out, out
+
+
+@check("time within threshold passes, beyond fails")
+def _(tmp):
+    base = write_report(tmp, "b.json", "parallel_scaling",
+                        [{"threads": 1, "ms": 1.0}])
+    ok = write_report(tmp, "ok.json", "parallel_scaling",
+                      [{"threads": 1, "ms": 1.2}])
+    bad = write_report(tmp, "bad.json", "parallel_scaling",
+                       [{"threads": 1, "ms": 1.3}])
+    code, out = run_gate(base, ok)
+    assert code == 0, out
+    code, out = run_gate(base, bad)
+    assert code != 0, out
+    assert "wall-clock regressed" in out, out
+
+
+@check("rate drop beyond threshold fails")
+def _(tmp):
+    point = {"mode": "batched", "p99_us": 100.0, "qps": 1000.0}
+    base = write_report(tmp, "b.json", "serving", [point])
+    cur = write_report(tmp, "c.json", "serving",
+                       [{"mode": "batched", "p99_us": 100.0, "qps": 700.0}])
+    code, out = run_gate(base, cur)
+    assert code != 0, out
+    assert "throughput dropped" in out, out
+
+
+@check("deterministic_lower field may not increase")
+def _(tmp):
+    point = {"deltas_per_batch": 64, "apply_ms": 1.0,
+             "dirty_window_fraction": 0.25}
+    base = write_report(tmp, "b.json", "streaming", [point])
+    ok = write_report(tmp, "ok.json", "streaming",
+                      [{"deltas_per_batch": 64, "apply_ms": 1.0,
+                        "dirty_window_fraction": 0.20}])
+    bad = write_report(tmp, "bad.json", "streaming",
+                       [{"deltas_per_batch": 64, "apply_ms": 1.0,
+                         "dirty_window_fraction": 0.26}])
+    code, out = run_gate(base, ok)
+    assert code == 0, out
+    code, out = run_gate(base, bad)
+    assert code != 0, out
+    assert "deterministic field" in out, out
+
+
+@check("directory mode matches by bench name and flags missing artifacts")
+def _(tmp):
+    bdir = os.path.join(tmp, "baselines")
+    cdir = os.path.join(tmp, "currents")
+    os.makedirs(bdir)
+    os.makedirs(cdir)
+    write_report(bdir, "one.json", "parallel_scaling",
+                 [{"threads": 1, "ms": 1.0}])
+    write_report(bdir, "two.json", "streaming",
+                 [{"deltas_per_batch": 64, "apply_ms": 1.0,
+                   "dirty_window_fraction": 0.25}])
+    # Filenames intentionally differ; matching is by report["bench"].
+    write_report(cdir, "renamed.json", "parallel_scaling",
+                 [{"threads": 1, "ms": 1.0}])
+    code, out = run_gate("--baseline-dir", bdir, "--current-dir", cdir)
+    assert code != 0, out
+    assert "no current artifact for bench 'streaming'" in out, out
+    write_report(cdir, "also_renamed.json", "streaming",
+                 [{"deltas_per_batch": 64, "apply_ms": 1.1,
+                   "dirty_window_fraction": 0.25}])
+    code, out = run_gate("--baseline-dir", bdir, "--current-dir", cdir)
+    assert code == 0, out
+
+
+def main():
+    failures = 0
+    for name, fn in CHECKS:
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                fn(tmp)
+                print(f"PASS: {name}")
+            except AssertionError as e:
+                print(f"FAIL: {name}\n{e}")
+                failures += 1
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,29 @@ int64_t WindowedCsr::TotalNnz() const {
   return total;
 }
 
+RowWindow BuildWindow(const CsrMatrix& csr, int32_t first_row, int32_t window_height) {
+  HCSPMM_CHECK(window_height > 0);
+  HCSPMM_CHECK(first_row >= 0 && first_row < csr.rows());
+  RowWindow w;
+  w.matrix_cols = csr.cols();
+  w.first_row = first_row;
+  w.num_rows = std::min(window_height, csr.rows() - first_row);
+  std::vector<int32_t> cols;
+  for (int32_t r = w.first_row; r < w.first_row + w.num_rows; ++r) {
+    const int64_t row_nnz = csr.RowNnz(r);
+    w.nnz += row_nnz;
+    w.max_row_nnz = std::max(w.max_row_nnz, row_nnz);
+    for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
+      cols.push_back(csr.col_ind()[k]);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  w.unique_cols = std::move(cols);
+  w.col_span = w.unique_cols.empty() ? 0 : w.unique_cols.back() - w.unique_cols.front();
+  return w;
+}
+
 WindowedCsr BuildWindows(const CsrMatrix& csr, int32_t window_height) {
   HCSPMM_CHECK(window_height > 0);
   WindowedCsr out;
@@ -42,27 +65,8 @@ WindowedCsr BuildWindows(const CsrMatrix& csr, int32_t window_height) {
   out.window_height = window_height;
   const int32_t num_windows = (csr.rows() + window_height - 1) / window_height;
   out.windows.reserve(num_windows);
-
-  std::vector<int32_t> cols;
   for (int32_t wi = 0; wi < num_windows; ++wi) {
-    RowWindow w;
-    w.matrix_cols = csr.cols();
-    w.first_row = wi * window_height;
-    w.num_rows = std::min(window_height, csr.rows() - w.first_row);
-    cols.clear();
-    for (int32_t r = w.first_row; r < w.first_row + w.num_rows; ++r) {
-      const int64_t row_nnz = csr.RowNnz(r);
-      w.nnz += row_nnz;
-      w.max_row_nnz = std::max(w.max_row_nnz, row_nnz);
-      for (int64_t k = csr.RowBegin(r); k < csr.RowEnd(r); ++k) {
-        cols.push_back(csr.col_ind()[k]);
-      }
-    }
-    std::sort(cols.begin(), cols.end());
-    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-    w.unique_cols = cols;
-    w.col_span = cols.empty() ? 0 : cols.back() - cols.front();
-    out.windows.push_back(std::move(w));
+    out.windows.push_back(BuildWindow(csr, wi * window_height, window_height));
   }
   return out;
 }

@@ -54,4 +54,12 @@ struct WindowedCsr {
 /// Partition `csr` into row windows and compute per-window statistics.
 WindowedCsr BuildWindows(const CsrMatrix& csr, int32_t window_height = kRowWindowHeight);
 
+/// Build the single window covering rows [first_row, first_row + window_height)
+/// (clamped to the matrix). The unit of incremental plan maintenance: streaming
+/// delta application rebuilds only the windows whose rows are dirty through
+/// this exact builder, so a patched plan's windows are definitionally equal to
+/// what a cold BuildWindows over the patched CSR would produce.
+RowWindow BuildWindow(const CsrMatrix& csr, int32_t first_row,
+                      int32_t window_height = kRowWindowHeight);
+
 }  // namespace hcspmm

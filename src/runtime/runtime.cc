@@ -42,4 +42,12 @@ std::shared_ptr<Session> Runtime::OpenSession(const CsrMatrix* abar,
   return session;
 }
 
+std::shared_ptr<Session> Runtime::OpenSession(std::shared_ptr<const CsrMatrix> abar,
+                                              const SessionOptions& options) {
+  std::shared_ptr<Session> session(
+      new Session(std::move(abar), options, pool_.get(), cache_));
+  session->StartInit();
+  return session;
+}
+
 }  // namespace hcspmm

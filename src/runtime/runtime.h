@@ -46,6 +46,12 @@ class Runtime {
   std::shared_ptr<Session> OpenSession(const CsrMatrix* abar,
                                        const SessionOptions& options);
 
+  /// Shared-ownership open: the session keeps `abar` alive itself, so the
+  /// caller may drop (or swap, as the streaming SessionPool does when a
+  /// graph is patched or unregistered) its reference at any time.
+  std::shared_ptr<Session> OpenSession(std::shared_ptr<const CsrMatrix> abar,
+                                       const SessionOptions& options);
+
   ThreadPool* pool() { return pool_.get(); }
   PlanCache* plan_cache() { return cache_; }
 

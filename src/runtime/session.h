@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,32 @@
 #include "exec/thread_pool.h"
 #include "kernels/spmm_kernel.h"
 #include "runtime/future.h"
+#include "stream/delta.h"
 
 namespace hcspmm {
+
+/// \brief One immutable snapshot of a session's execution state: the bound
+/// CSR content, its plan, and its fingerprint at a given delta version.
+///
+/// Sessions publish a new PlanVersion on every ApplyDeltas; in-flight async
+/// multiplies pin (shared_ptr) the snapshot they were submitted against and
+/// finish on it, while new submissions atomically see the latest one. The
+/// PlanCache holds old and new plans under distinct fingerprints, so an
+/// evicted old snapshot is simply dropped — never corrupted.
+struct PlanVersion {
+  /// Owning handle for patched (or shared-at-open) matrices. Null only for
+  /// version 0 of a session opened on a caller-owned raw pointer.
+  std::shared_ptr<const CsrMatrix> owned;
+  const CsrMatrix* csr = nullptr;             ///< the matrix this version executes on
+  std::shared_ptr<const HybridPlan> plan;     ///< "hcspmm" only
+  WindowedCsr windows;                        ///< "cuda_opt" only (see Session)
+  bool have_windows = false;
+  uint64_t fingerprint = 0;  ///< content fingerprint (folded after deltas)
+  uint64_t version = 0;      ///< 0 at open, +1 per applied batch
+  int64_t aux_bytes = 0;
+  double preprocess_ns = 0.0;  ///< plan build (v0) or patch cost (later)
+  bool plan_from_cache = false;
+};
 
 /// Builder-style configuration for Runtime::OpenSession.
 class SessionOptions {
@@ -159,22 +184,56 @@ class Session : public std::enable_shared_from_this<Session> {
   /// output without copying the input matrix per shard.
   Future<bool> SubmitAsync(std::function<Status()> fn, int stream = 0);
 
+  /// Apply a batch of edge deltas to the bound graph ("hcspmm" only): merge
+  /// the deltas into a new CSR snapshot, rebuild only the dirty row windows
+  /// (PatchPlan), re-encode the packed sidecar for those rows when
+  /// compress_indices is on, fold the batch hash into the content
+  /// fingerprint, insert the patched plan into the PlanCache under the new
+  /// fingerprint, and atomically publish the new PlanVersion. In-flight
+  /// async multiplies finish on the snapshot they pinned at submission; the
+  /// next submission sees the patched plan. Waits for init; concurrent
+  /// ApplyDeltas calls serialize. On error nothing is published.
+  Status ApplyDeltas(const DeltaBatch& batch, DeltaApplyStats* stats = nullptr);
+
+  /// The current (latest-published) snapshot; waits for init. Holding the
+  /// returned shared_ptr pins the snapshot's matrix and plan — ShardedSession
+  /// pins per-shard versions this way so a fanned-out multiply is torn-free
+  /// across shards even while deltas land.
+  std::shared_ptr<const PlanVersion> CurrentVersion() const;
+
+  /// Version 0 (the snapshot the session was opened on); waits for init.
+  /// Immutable for the session's lifetime, so a multiply submitted before
+  /// any delta landed can always be resolved against it.
+  std::shared_ptr<const PlanVersion> InitialVersion() const;
+
+  /// z = Abar(version) * x on an explicitly pinned snapshot, synchronously,
+  /// with the session's configured thread count.
+  Status MultiplyOn(const PlanVersion& v, const DenseMatrix& x, DenseMatrix* z,
+                    KernelProfile* profile) const;
+
+  /// Published delta version (0 until the first ApplyDeltas; waits).
+  uint64_t version() const;
+
   /// One-time preprocessing time in ns (0 on a PlanCache hit). Waits for
   /// preprocessing to finish.
   double PreprocessNs() const;
 
-  /// True when the hybrid plan came out of the runtime's PlanCache (waits).
+  /// True when the current version's plan came out of the PlanCache (waits).
   bool plan_from_cache() const;
 
-  /// Framework-specific auxiliary memory, Table XII (waits).
+  /// Framework-specific auxiliary memory, Table XII, for the current
+  /// version (waits).
   int64_t AuxMemoryBytes() const;
 
-  /// Hybrid plan — populated only for "hcspmm" (waits).
+  /// Current version's hybrid plan — populated only for "hcspmm" (waits).
+  /// Transient: the pointer is guaranteed only until the next ApplyDeltas;
+  /// pin CurrentVersion() to hold a snapshot across concurrent deltas.
   const HybridPlan* plan() const;
 
   /// FNV-1a content fingerprint of the bound matrix — the same value the
   /// PlanCache keys on, so the serving layer's SessionPool can admit/share
-  /// sessions by graph content without rehashing the CSR (waits).
+  /// sessions by graph content without rehashing the CSR (waits). After
+  /// ApplyDeltas this is the *folded* fingerprint of the patched content.
   uint64_t content_fingerprint() const;
 
   const std::string& kernel_name() const { return options_.kernel_name(); }
@@ -182,7 +241,8 @@ class Session : public std::enable_shared_from_this<Session> {
   DataType dtype() const { return options_.dtype(); }
   int num_threads() const { return options_.num_threads(); }
   int num_streams() const { return static_cast<int>(streams_.size()); }
-  const CsrMatrix& abar() const { return *abar_; }
+  /// Current version's matrix (waits). Transient like plan().
+  const CsrMatrix& abar() const;
 
  private:
   friend class Runtime;
@@ -197,13 +257,20 @@ class Session : public std::enable_shared_from_this<Session> {
 
   Session(const CsrMatrix* abar, SessionOptions options, ThreadPool* pool,
           PlanCache* cache);
+  /// Shared-ownership open: the session (and every PlanVersion derived from
+  /// the matrix) keeps `abar` alive. The streaming SessionPool opens its
+  /// backends this way so a pool entry can be patched/unregistered while a
+  /// session still computes on the old snapshot.
+  Session(std::shared_ptr<const CsrMatrix> abar, SessionOptions options,
+          ThreadPool* pool, PlanCache* cache);
 
   /// Kick preprocessing onto the pool (or resolve init_ immediately on a
   /// sync validation error). Called once by Runtime::OpenSession after the
   /// shared_ptr exists (the task keeps the session alive).
   void StartInit();
 
-  /// Preprocessing body: plan lookup/build + window statistics.
+  /// Preprocessing body: plan lookup/build + window statistics. Publishes
+  /// version 0 (initial_ and current_) before init_ resolves.
   Status Initialize();
 
   /// Enqueue onto a stream; pumps are gated on init_ so no task ever runs
@@ -212,11 +279,27 @@ class Session : public std::enable_shared_from_this<Session> {
   void Enqueue(int stream, std::function<void()> task);
   void Pump(Stream* s);
 
-  /// Multiply assuming init completed OK (no waiting).
-  Status MultiplyWithThreads(const DenseMatrix& x, DenseMatrix* z,
-                             KernelProfile* profile, int num_threads) const;
+  /// Latest published version without waiting for init (null before the
+  /// init task publishes version 0). Async submissions pin through this at
+  /// enqueue time and fall back to initial_ inside the (init-gated) task.
+  std::shared_ptr<const PlanVersion> TryPinVersion() const;
 
-  const CsrMatrix* abar_;
+  /// Multiply on a pinned snapshot assuming init completed OK (no waiting).
+  Status MultiplyOnWithThreads(const PlanVersion& v, const DenseMatrix& x,
+                               DenseMatrix* z, KernelProfile* profile,
+                               int num_threads) const;
+
+  /// Batch body over a pinned snapshot (semantics of MultiplyBatch).
+  Status MultiplyBatchOn(const PlanVersion& v,
+                         const std::vector<const DenseMatrix*>& xs,
+                         std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+
+  /// Aux-memory model shared by Initialize and ApplyDeltas.
+  int64_t ComputeAuxBytes(const HybridPlan* plan, const WindowedCsr& windows,
+                          const CsrMatrix& csr) const;
+
+  const CsrMatrix* abar_;                       ///< version-0 matrix
+  std::shared_ptr<const CsrMatrix> abar_owned_; ///< set by the shared-ptr ctor
   SessionOptions options_;
   ThreadPool* pool_;
   PlanCache* cache_;
@@ -225,16 +308,15 @@ class Session : public std::enable_shared_from_this<Session> {
   // Written by Initialize() before init_ resolves; read-only afterwards
   // (the future's mutex orders the hand-off).
   std::unique_ptr<SpmmKernel> kernel_;
-  std::shared_ptr<const HybridPlan> plan_;
-  // Row windows kept for kernels that meter per window without a hybrid
-  // plan ("cuda_opt"): built once at init instead of on every profiled
-  // multiply. Empty for the other kernels.
-  WindowedCsr windows_;
-  bool have_windows_ = false;
-  bool plan_from_cache_ = false;
-  double preprocess_ns_ = 0.0;
-  int64_t aux_bytes_ = 0;
-  uint64_t content_fingerprint_ = 0;
+  std::shared_ptr<const PlanVersion> initial_;  ///< version 0, immutable
+
+  // Latest published snapshot; starts == initial_. Swapped under version_mu_
+  // by ApplyDeltas, read under the same mutex by every pin.
+  mutable std::mutex version_mu_;
+  std::shared_ptr<const PlanVersion> current_;
+
+  // Serializes ApplyDeltas calls (patching is read-modify-write on current_).
+  std::mutex apply_mu_;
 
   Promise<bool> init_promise_;
   Future<bool> init_;  // resolves true on success, error Status on failure

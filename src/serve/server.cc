@@ -131,6 +131,47 @@ uint64_t Server::RegisterGraph(CsrMatrix abar) {
   return pool_.RegisterGraph(std::move(abar));
 }
 
+int64_t Server::GraphLoadLocked(uint64_t handle) const {
+  int64_t load = 0;
+  for (const auto& [id, pending] : pending_) {
+    if (pending.graph == handle) ++load;
+  }
+  auto it = graph_inflight_.find(handle);
+  if (it != graph_inflight_.end()) load += it->second;
+  return load;
+}
+
+Result<uint64_t> Server::RegisterGraph(uint64_t base_graph, const DeltaBatch& deltas,
+                                       DeltaApplyStats* stats) {
+  // Hold mu_ across the check *and* the pool patch: Submit takes mu_ too, so
+  // no request for the old handle can be admitted between "nothing queued"
+  // and the re-key. The pool's own lock nests inside mu_ here; nothing ever
+  // takes them in the other order simultaneously (Submit probes the pool
+  // before locking mu_, dispatch acquires with mu_ released).
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_) {
+    return Status::Internal("Server: RegisterGraph(deltas) after Shutdown");
+  }
+  const int64_t load = GraphLoadLocked(base_graph);
+  if (load > 0) {
+    return Status::Overloaded(
+        "Server: graph " + std::to_string(base_graph) + " has " +
+        std::to_string(load) + " queued/in-flight requests; drain and retry");
+  }
+  return pool_.ApplyDeltas(base_graph, deltas, stats);
+}
+
+Status Server::UnregisterGraph(uint64_t handle) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int64_t load = GraphLoadLocked(handle);
+  if (load > 0) {
+    return Status::Overloaded(
+        "Server: graph " + std::to_string(handle) + " has " +
+        std::to_string(load) + " queued/in-flight requests; drain and retry");
+  }
+  return pool_.Unregister(handle);
+}
+
 void Server::ConfigureTenant(const std::string& tenant, const TenantOptions& opts) {
   std::lock_guard<std::mutex> lk(mu_);
   TenantState& state = TenantLocked(tenant);
@@ -226,6 +267,7 @@ void Server::DispatcherLoop() {
       ++tenants_.at(p.tenant).inflight;
     }
     job.graph = job.items.front().graph;
+    graph_inflight_[job.graph] += static_cast<int64_t>(job.items.size());
     // Rotate streams so consecutive batches for one session overlap instead
     // of serializing on a single FIFO lane.
     job.stream = static_cast<int>(batches_);
@@ -287,6 +329,11 @@ void Server::CompleteBatch(BatchJob job, const Status& status,
       }
     }
     inflight_total_ -= static_cast<int64_t>(job.items.size());
+    auto gi = graph_inflight_.find(job.graph);
+    if (gi != graph_inflight_.end() &&
+        (gi->second -= static_cast<int64_t>(job.items.size())) <= 0) {
+      graph_inflight_.erase(gi);
+    }
     // Notify while still holding mu_: once inflight_total_ hits zero a
     // draining Shutdown may destroy the server, so `this` (cv_ included)
     // must not be touched after the lock is released.

@@ -197,6 +197,24 @@ class Server {
   /// (content fingerprint, deduplicated).
   uint64_t RegisterGraph(CsrMatrix abar);
 
+  /// Streaming admission: patch the registered graph `base_graph` in place
+  /// with an edge-delta batch (SessionPool::ApplyDeltas — incremental plan
+  /// maintenance on a resident backend) and return the re-fingerprinted
+  /// handle the graph now answers to; the old handle is forgotten. Refused
+  /// with kOverloaded — retryable, no side effects — while any request for
+  /// `base_graph` is queued or in flight: queued requests would dispatch
+  /// against a forgotten handle, so the caller drains (or retries) first.
+  /// The check and the patch are atomic against Submit, so no request ever
+  /// slips in between them.
+  Result<uint64_t> RegisterGraph(uint64_t base_graph, const DeltaBatch& deltas,
+                                 DeltaApplyStats* stats = nullptr);
+
+  /// Drop a registered graph. Refused with kOverloaded while any request
+  /// for it is queued or in flight (streaming re-registration tests use this
+  /// to avoid leaking pool entries; a busy graph is never pulled out from
+  /// under its requests). Unknown handles return InvalidArgument.
+  Status UnregisterGraph(uint64_t handle);
+
   /// Set QoS knobs for a tenant (otherwise ServerOptions::default_tenant
   /// applies on first submit). Weight changes apply to future submits.
   void ConfigureTenant(const std::string& tenant, const TenantOptions& options);
@@ -239,6 +257,10 @@ class Server {
   };
 
   TenantState& TenantLocked(const std::string& tenant);
+  /// Queued + in-flight requests referencing `handle` (mu_ held). A batch
+  /// counts as in flight from the moment it is popped under mu_ until
+  /// CompleteBatch, which covers the unlocked pop -> pool Acquire window.
+  int64_t GraphLoadLocked(uint64_t handle) const;
   void DispatcherLoop();
   void DispatchBatch(BatchJob job);
   void CompleteBatch(BatchJob job, const Status& status, std::vector<DenseMatrix> zs);
@@ -250,6 +272,7 @@ class Server {
   std::condition_variable cv_;
   WfqScheduler sched_;
   std::unordered_map<uint64_t, Pending> pending_;  // queued payloads by id
+  std::unordered_map<uint64_t, int64_t> graph_inflight_;  // dispatched per graph
   std::unordered_map<std::string, TenantState> tenants_;
   uint64_t next_id_ = 0;
   int64_t inflight_total_ = 0;

@@ -91,7 +91,7 @@ uint64_t SessionPool::RegisterGraph(CsrMatrix abar) {
   auto it = graphs_.find(handle);
   if (it != graphs_.end()) return handle;  // content-addressed dedup
   GraphEntry entry;
-  entry.abar = std::make_unique<CsrMatrix>(std::move(abar));
+  entry.abar = std::make_shared<const CsrMatrix>(std::move(abar));
   graphs_.emplace(handle, std::move(entry));
   return handle;
 }
@@ -129,7 +129,9 @@ PooledSession SessionPool::OpenLocked(GraphEntry* entry) {
         ShardedSession::Open(runtime_, *entry->abar, options_.session, sharding);
     ever_opened_sharded_.push_back(opened.sharded_);
   } else {
-    opened.session_ = runtime_->OpenSession(entry->abar.get(), options_.session);
+    // Shared-ownership open: the session pins the snapshot itself, so a
+    // later ApplyDeltas/Unregister can swap/drop entry->abar safely.
+    opened.session_ = runtime_->OpenSession(entry->abar, options_.session);
     ever_opened_.push_back(opened.session_);
   }
   ++opened_;
@@ -169,6 +171,77 @@ Result<PooledSession> SessionPool::Acquire(uint64_t handle) {
   ++resident_;
   EvictToBudgetLocked();
   return entry.open;
+}
+
+Result<uint64_t> SessionPool::ApplyDeltas(uint64_t handle, const DeltaBatch& batch,
+                                          DeltaApplyStats* stats) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  if (it == graphs_.end()) {
+    return Status::InvalidArgument("SessionPool: unknown graph handle " +
+                                   std::to_string(handle));
+  }
+  GraphEntry& entry = it->second;
+
+  // Patch the resident backend first (incremental plan maintenance; its
+  // in-flight multiplies finish on the snapshot they pinned), then swap the
+  // stored content. Errors — inapplicable batch, non-hcspmm kernel — leave
+  // both untouched.
+  if (entry.resident && entry.open.session_ != nullptr) {
+    HCSPMM_RETURN_NOT_OK(entry.open.session_->ApplyDeltas(batch, stats));
+    entry.abar = entry.open.session_->CurrentVersion()->owned;
+  } else {
+    if (entry.resident && entry.open.sharded_ != nullptr) {
+      HCSPMM_RETURN_NOT_OK(entry.open.sharded_->ApplyDeltas(batch, stats));
+      // The sharded backend owns per-shard snapshots; the pool still stores
+      // the full matrix for future (re)opens, patched below.
+      stats = nullptr;  // already filled by the sharded apply
+    }
+    auto patched = ApplyDeltasToCsr(*entry.abar, batch, stats);
+    HCSPMM_RETURN_NOT_OK(patched.status());
+    entry.abar = std::make_shared<const CsrMatrix>(std::move(patched.ValueOrDie()));
+  }
+
+  // Re-fingerprint: fold the batch hash into the handle, exactly like the
+  // session layer does, and re-key the entry.
+  const uint64_t new_handle = FoldFingerprint(handle, batch.Hash());
+  auto existing = graphs_.find(new_handle);
+  if (existing != graphs_.end()) {
+    // Patched content collides with an already-registered graph: merge into
+    // it (content dedup). The patched entry's backend stays alive through
+    // any in-flight references; the pool keeps the incumbent.
+    if (entry.resident) {
+      lru_.erase(entry.lru_pos);
+      --resident_;
+      ++evicted_;
+    }
+    graphs_.erase(it);
+    return new_handle;
+  }
+  if (entry.resident) *entry.lru_pos = new_handle;
+  auto node = graphs_.extract(it);
+  node.key() = new_handle;
+  graphs_.insert(std::move(node));
+  return new_handle;
+}
+
+Status SessionPool::Unregister(uint64_t handle) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  if (it == graphs_.end()) {
+    return Status::InvalidArgument("SessionPool: unknown graph handle " +
+                                   std::to_string(handle));
+  }
+  if (it->second.resident) {
+    lru_.erase(it->second.lru_pos);
+    --resident_;
+    ++evicted_;
+  }
+  // In-flight work (and evicted sessions still preprocessing) holds shared
+  // ownership of the backend and, through it, of the CSR snapshot; erasing
+  // the entry only drops the pool's references.
+  graphs_.erase(it);
+  return Status::OK();
 }
 
 bool SessionPool::Evict(uint64_t handle) {

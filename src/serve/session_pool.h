@@ -20,6 +20,7 @@
 #include "runtime/session.h"
 #include "shard/sharded_session.h"
 #include "sparse/csr.h"
+#include "stream/delta.h"
 #include "util/status.h"
 
 namespace hcspmm {
@@ -121,6 +122,25 @@ class SessionPool {
   /// return InvalidArgument.
   Result<PooledSession> Acquire(uint64_t handle);
 
+  /// Streaming admission: patch the registered graph `handle` in place with
+  /// an edge-delta batch and re-fingerprint its entry. The stored CSR is
+  /// swapped for the patched content; a resident backend is patched through
+  /// Session/ShardedSession::ApplyDeltas (incremental plan maintenance), so
+  /// its in-flight multiplies finish on the old snapshot. Returns the new
+  /// handle — FoldFingerprint(handle, batch.Hash()) — under which the entry
+  /// is now registered; the old handle is forgotten. If patched content
+  /// collides with an already-registered graph, the patched entry is merged
+  /// into it (content-addressed dedup, like RegisterGraph). Fails without
+  /// side effects on unknown handles or inapplicable batches.
+  Result<uint64_t> ApplyDeltas(uint64_t handle, const DeltaBatch& batch,
+                               DeltaApplyStats* stats = nullptr);
+
+  /// Drop a registered graph entirely (its open session too, if resident).
+  /// Unconditional at the pool level: backends still referenced by in-flight
+  /// work stay alive through their own shared ownership. The serving layer
+  /// (Server::UnregisterGraph) adds the requests-in-flight refusal on top.
+  Status Unregister(uint64_t handle);
+
   /// Drop the open session for `handle` if any (the graph stays). Returns
   /// true when a session was actually evicted.
   bool Evict(uint64_t handle);
@@ -129,8 +149,11 @@ class SessionPool {
 
  private:
   struct GraphEntry {
-    std::unique_ptr<CsrMatrix> abar;  // stable address: sessions point at it
-    PooledSession open;               // invalid when not resident
+    /// Shared content snapshot: plain sessions co-own it (shared-ptr
+    /// OpenSession), so ApplyDeltas/Unregister may swap or drop it while an
+    /// already-open session still computes on the old snapshot.
+    std::shared_ptr<const CsrMatrix> abar;
+    PooledSession open;  // invalid when not resident
     std::list<uint64_t>::iterator lru_pos;
     bool resident = false;
   };

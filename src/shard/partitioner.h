@@ -59,6 +59,12 @@ struct ShardingOptions {
   /// (calib/calibrated_model.h), or nullptr to fall back to the hand-set
   /// analytic cost model. Not owned; must outlive the partitioner calls.
   const CalibratedCostModel* cost_model = nullptr;
+  /// Streaming rebalance trigger: after ShardedSession::ApplyDeltas, the
+  /// partition is rebuilt when max shard nnz exceeds `rebalance_threshold`
+  /// times the mean shard nnz (drifted balance wastes the sync barrier).
+  /// Values <= 1.0 repartition after every batch that changes nnz; large
+  /// values effectively never repartition.
+  double rebalance_threshold = 1.5;
 };
 
 /// A partitioned CSR: `shards[i]` is a standalone (ranges[i].NumRows() x

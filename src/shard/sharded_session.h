@@ -11,13 +11,21 @@
 //
 // The partition owns copies of the shard CSRs, so unlike Session the source
 // matrix only needs to live through Open(), not through the session.
+//
+// Streaming: ApplyDeltas routes row-disjoint sub-batches to the owning
+// shards and publishes a new ShardState — an immutable cross-shard snapshot
+// (partition + sessions + per-shard pinned PlanVersions). Every multiply
+// pins exactly one ShardState, so a fan-out never sees shard i patched and
+// shard j not, even while deltas land concurrently.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "runtime/session.h"
 #include "shard/partitioner.h"
+#include "stream/delta.h"
 
 namespace hcspmm {
 
@@ -41,6 +49,19 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   /// Block until every shard finished preprocessing; first error wins.
   Status WaitReady() const;
 
+  /// Apply edge deltas against the sharded operator: the batch (rows in the
+  /// *full* matrix coordinate space) is sliced into row-disjoint sub-batches
+  /// and applied to the owning shards' sessions, then a new ShardState is
+  /// published. When the resulting nnz balance drifts past
+  /// ShardingOptions::rebalance_threshold (max/mean) the operator is
+  /// repartitioned: shard CSRs are merged and re-split, and fresh sessions
+  /// open on the new shards (their plans join the PlanCache under their own
+  /// content fingerprints). In-flight multiplies finish on the state they
+  /// pinned. Waits for init; concurrent calls serialize. Deltas must flow
+  /// through this call, not shard_session(i)->ApplyDeltas, or published
+  /// states go stale.
+  Status ApplyDeltas(const DeltaBatch& batch, DeltaApplyStats* stats = nullptr);
+
   /// z = Abar * x, synchronously: every shard is submitted to its session's
   /// stream, computes its row slice, and scatters it into *z; the caller
   /// blocks on the join. Appends to `profile` in shard order if non-null.
@@ -51,7 +72,8 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   /// shard i to stream `stream` of shard i's session, so calls on the same
   /// `stream` stay FIFO per shard exactly like Session::MultiplyAsync. A
   /// non-null `profile` accumulates every shard's metered cost in shard
-  /// order before the future resolves and must outlive it.
+  /// order before the future resolves and must outlive it. The whole
+  /// fan-out is pinned to the ShardState current at submission.
   Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
                                     int stream = 0);
 
@@ -62,21 +84,27 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                        std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
 
-  int num_shards() const { return partition_.NumShards(); }
-  const GraphPartition& partition() const { return partition_; }
-  const ShardRange& shard_range(int i) const { return partition_.ranges[i]; }
-  Session* shard_session(int i) const { return sessions_[i].get(); }
+  int num_shards() const { return State()->partition->NumShards(); }
+  /// Current partition/ranges/sessions. Transient across ApplyDeltas (a
+  /// repartition replaces them); pin semantics live inside the multiplies.
+  const GraphPartition& partition() const { return *State()->partition; }
+  const ShardRange& shard_range(int i) const { return State()->partition->ranges[i]; }
+  Session* shard_session(int i) const { return State()->sessions[i].get(); }
+
+  /// Monotone state generation: 0 at open, +1 per ApplyDeltas (waits).
+  uint64_t generation() const { return State()->generation; }
 
   /// Summed one-time preprocessing time across shards (each shard reports 0
   /// on its own PlanCache hit). Waits for every shard.
   double PreprocessNs() const;
 
   /// True when shard i's plan came out of the PlanCache (waits).
-  bool plan_from_cache(int i) const { return sessions_[i]->plan_from_cache(); }
+  bool plan_from_cache(int i) const { return State()->sessions[i]->plan_from_cache(); }
 
   /// True when every shard's plan came out of the PlanCache (waits).
   bool plan_from_cache() const {
-    for (const auto& session : sessions_) {
+    auto state = State();
+    for (const auto& session : state->sessions) {
       if (!session->plan_from_cache()) return false;
     }
     return true;
@@ -85,20 +113,53 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   /// Summed framework-specific auxiliary memory across shards (waits).
   int64_t AuxMemoryBytes() const;
 
-  int32_t rows() const { return partition_.rows; }
-  int32_t cols() const { return partition_.cols; }
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
   const std::string& kernel_name() const { return options_.kernel_name(); }
   const DeviceSpec& device() const { return options_.device(); }
   DataType dtype() const { return options_.dtype(); }
   int num_threads() const { return options_.num_threads(); }
 
  private:
-  ShardedSession(GraphPartition partition, SessionOptions options)
-      : partition_(std::move(partition)), options_(std::move(options)) {}
+  /// One immutable cross-shard snapshot. `versions` pins every shard's
+  /// PlanVersion; empty means "each session's initial version" (states
+  /// created at Open/repartition time, before the sessions finished their
+  /// async init — the init-gated shard tasks resolve it then).
+  struct ShardState {
+    std::shared_ptr<const GraphPartition> partition;
+    std::vector<std::shared_ptr<Session>> sessions;
+    std::vector<std::shared_ptr<const PlanVersion>> versions;
+    uint64_t generation = 0;
+  };
 
-  GraphPartition partition_;
+  ShardedSession(SessionOptions options, ShardingOptions sharding, Runtime* runtime)
+      : options_(std::move(options)), sharding_(sharding), runtime_(runtime) {}
+
+  std::shared_ptr<const ShardState> State() const {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    return state_;
+  }
+
+  /// Build a state (sessions opened per shard of `partition`) and the
+  /// keepalives pinning it through every shard's async init.
+  static std::shared_ptr<const ShardState> OpenState(
+      Runtime* runtime, std::shared_ptr<const GraphPartition> partition,
+      const SessionOptions& options, uint64_t generation);
+
+  /// The shard-i snapshot a pinned state resolves to (init must be done).
+  static const PlanVersion& ShardVersion(const ShardState& state, size_t i);
+
   SessionOptions options_;
-  std::vector<std::shared_ptr<Session>> sessions_;  // one per shard
+  ShardingOptions sharding_;
+  Runtime* runtime_;
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ShardState> state_;
+
+  // Serializes ApplyDeltas (read-modify-write on state_).
+  std::mutex apply_mu_;
 };
 
 /// \brief Non-owning handle to either a Session or a ShardedSession

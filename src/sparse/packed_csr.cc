@@ -1,5 +1,6 @@
 #include "sparse/packed_csr.h"
 
+#include <cstring>
 #include <limits>
 #include <string>
 
@@ -55,6 +56,87 @@ Result<PackedCsr> PackedCsr::Encode(const CsrMatrix& csr) {
       prev = col;
     }
     out.pack_ptr_[r + 1] = static_cast<uint32_t>(cursor - base);
+  }
+  out.stream_.shrink_to_fit();
+  out.pack_ptr_.shrink_to_fit();
+  return out;
+}
+
+Result<PackedCsr> PackedCsr::PatchRows(const PackedCsr& base, const CsrMatrix& patched,
+                                       const std::vector<int32_t>& dirty_rows) {
+  if (base.rows_ != patched.rows() || base.cols_ != patched.cols()) {
+    return Status::InvalidArgument(
+        "PackedCsr::PatchRows: base sidecar shape (" + std::to_string(base.rows_) +
+        "x" + std::to_string(base.cols_) + ") does not match patched matrix (" +
+        std::to_string(patched.rows()) + "x" + std::to_string(patched.cols()) + ")");
+  }
+  std::vector<uint8_t> dirty(static_cast<size_t>(base.rows_), 0);
+  for (int32_t r : dirty_rows) {
+    if (r < 0 || r >= base.rows_) {
+      return Status::OutOfRange("PackedCsr::PatchRows: dirty row " + std::to_string(r) +
+                                " out of range [0, " + std::to_string(base.rows_) + ")");
+    }
+    dirty[static_cast<size_t>(r)] = 1;
+  }
+
+  // Sizing pass over dirty rows only (with the same sortedness/range check
+  // as Encode); clean rows contribute their existing byte spans.
+  int64_t total_bytes = 0;
+  for (int32_t r = 0; r < base.rows_; ++r) {
+    if (!dirty[static_cast<size_t>(r)]) {
+      total_bytes += static_cast<int64_t>(base.pack_ptr_[r + 1]) - base.pack_ptr_[r];
+      continue;
+    }
+    int32_t prev = 0;
+    for (int64_t k = patched.RowBegin(r); k < patched.RowEnd(r); ++k) {
+      const int32_t col = patched.col_ind()[k];
+      if (col < 0 || col >= patched.cols()) {
+        return Status::InvalidArgument(
+            "PackedCsr::PatchRows: column index out of range in row " +
+            std::to_string(r));
+      }
+      if (col < prev) {
+        return Status::InvalidArgument(
+            "PackedCsr::PatchRows requires columns sorted non-decreasing within "
+            "each row (row " +
+            std::to_string(r) + " is unsorted)");
+      }
+      total_bytes += packed::EncodedDeltaBytes(static_cast<uint32_t>(col - prev));
+      prev = col;
+    }
+  }
+  if (total_bytes > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "PackedCsr::PatchRows: packed stream would exceed the 4 GiB uint32 "
+        "offset limit");
+  }
+
+  PackedCsr out;
+  out.rows_ = patched.rows();
+  out.cols_ = patched.cols();
+  out.nnz_ = patched.nnz();
+  out.stream_.resize(static_cast<size_t>(total_bytes));
+  out.pack_ptr_.resize(static_cast<size_t>(patched.rows()) + 1);
+  uint8_t* cursor = out.stream_.data();
+  const uint8_t* out_base = cursor;
+  out.pack_ptr_[0] = 0;
+  for (int32_t r = 0; r < base.rows_; ++r) {
+    if (!dirty[static_cast<size_t>(r)]) {
+      const uint8_t* src = base.stream_.data() + base.pack_ptr_[r];
+      const size_t len = base.pack_ptr_[r + 1] - base.pack_ptr_[r];
+      if (len > 0) {
+        std::memcpy(cursor, src, len);
+        cursor += len;
+      }
+    } else {
+      int32_t prev = 0;
+      for (int64_t k = patched.RowBegin(r); k < patched.RowEnd(r); ++k) {
+        const int32_t col = patched.col_ind()[k];
+        cursor = packed::EncodeDelta(cursor, static_cast<uint32_t>(col - prev));
+        prev = col;
+      }
+    }
+    out.pack_ptr_[r + 1] = static_cast<uint32_t>(cursor - out_base);
   }
   out.stream_.shrink_to_fit();
   out.pack_ptr_.shrink_to_fit();

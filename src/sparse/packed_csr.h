@@ -32,6 +32,15 @@ class PackedCsr {
   /// pack_ptr limit — such matrices would not benefit from packing anyway).
   static Result<PackedCsr> Encode(const CsrMatrix& csr);
 
+  /// Incremental re-encode for streaming deltas: rebuild only `dirty_rows`
+  /// (sorted, deduplicated row ids) against `patched`, splicing every clean
+  /// row's byte range verbatim from `base`'s stream. `base` and `patched`
+  /// must have the same shape; the result is byte-identical to
+  /// Encode(patched) because delta encoding is per-row (each row restarts
+  /// from column 0, so a row's bytes never depend on its neighbours).
+  static Result<PackedCsr> PatchRows(const PackedCsr& base, const CsrMatrix& patched,
+                                     const std::vector<int32_t>& dirty_rows);
+
   int32_t rows() const { return rows_; }
   int32_t cols() const { return cols_; }
   int64_t nnz() const { return nnz_; }

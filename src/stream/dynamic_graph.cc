@@ -1,0 +1,15 @@
+#include "stream/dynamic_graph.h"
+
+namespace hcspmm {
+
+Status DynamicGraph::ApplyDeltas(const DeltaBatch& batch, DeltaApplyStats* stats) {
+  auto patched = ApplyDeltasToCsr(*csr_, batch, stats);
+  if (!patched.ok()) return patched.status();
+  csr_ = std::make_shared<const CsrMatrix>(std::move(patched.ValueOrDie()));
+  fingerprint_ = FoldFingerprint(fingerprint_, batch.Hash());
+  ++version_;
+  if (stats != nullptr) stats->version = version_;
+  return Status::OK();
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,37 @@
+// DynamicGraph: a versioned, fingerprinted CSR that evolves by delta
+// batches. The holder used wherever graph *content* (not an execution
+// plan) must track a delta stream: SessionPool entries, benches, and tests
+// that need the "equivalent rebuilt CSR" oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "stream/delta.h"
+
+namespace hcspmm {
+
+class DynamicGraph {
+ public:
+  /// Takes shared ownership of the initial snapshot. `fingerprint` is the
+  /// content fingerprint the graph is registered under (typically
+  /// FingerprintCsr of the initial CSR).
+  DynamicGraph(std::shared_ptr<const CsrMatrix> csr, uint64_t fingerprint)
+      : csr_(std::move(csr)), fingerprint_(fingerprint) {}
+
+  /// Merge a batch: swaps in the patched CSR, folds the batch hash into the
+  /// fingerprint, and bumps the version. Previous snapshots stay alive for
+  /// whoever still holds their shared_ptr. On error the graph is unchanged.
+  Status ApplyDeltas(const DeltaBatch& batch, DeltaApplyStats* stats = nullptr);
+
+  const std::shared_ptr<const CsrMatrix>& csr() const { return csr_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  std::shared_ptr<const CsrMatrix> csr_;
+  uint64_t fingerprint_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace hcspmm

@@ -1,0 +1,86 @@
+#include "stream/plan_patch.h"
+
+#include <string>
+
+namespace hcspmm {
+
+Result<PlanPatch> PatchPlan(const HybridPlan& base, const CsrMatrix& patched,
+                            const std::vector<int32_t>& dirty_rows,
+                            const DeviceSpec& dev, const SelectorModel& selector) {
+  const int32_t window_height = base.windows.window_height;
+  const int64_t num_windows =
+      (static_cast<int64_t>(patched.rows()) + window_height - 1) / window_height;
+  if (num_windows != static_cast<int64_t>(base.windows.windows.size())) {
+    return Status::InvalidArgument(
+        "PatchPlan: patched matrix with " + std::to_string(patched.rows()) +
+        " rows does not tile into the base plan's " +
+        std::to_string(base.windows.windows.size()) + " windows");
+  }
+
+  PlanPatch out;
+  out.total_windows = num_windows;
+  HybridPlan& plan = out.plan;
+  plan.windows.csr = &patched;
+  plan.windows.window_height = window_height;
+  plan.windows.windows = base.windows.windows;
+  plan.assignment = base.assignment;
+
+  // Distinct dirty window indices from the (sorted) dirty rows.
+  std::vector<int32_t> dirty_windows;
+  for (int32_t r : dirty_rows) {
+    if (r < 0 || r >= patched.rows()) {
+      return Status::OutOfRange("PatchPlan: dirty row " + std::to_string(r) +
+                                " out of range [0, " + std::to_string(patched.rows()) +
+                                ")");
+    }
+    const int32_t wi = r / window_height;
+    if (dirty_windows.empty() || dirty_windows.back() != wi) {
+      dirty_windows.push_back(wi);
+    }
+  }
+  out.dirty_windows = static_cast<int64_t>(dirty_windows.size());
+
+  int64_t dirty_nnz = 0;
+  for (int32_t wi : dirty_windows) {
+    RowWindow w = BuildWindow(patched, wi * window_height, window_height);
+    dirty_nnz += w.nnz;
+    // Same routing rule as Preprocess: empty windows never launch work.
+    plan.assignment[static_cast<size_t>(wi)] =
+        (w.nnz == 0) ? CoreType::kCudaCore : selector.Select(w);
+    plan.windows.windows[static_cast<size_t>(wi)] = std::move(w);
+  }
+
+  plan.windows_cuda = 0;
+  plan.windows_tensor = 0;
+  for (size_t wi = 0; wi < plan.windows.windows.size(); ++wi) {
+    if (plan.windows.windows[wi].nnz == 0) continue;
+    if (plan.assignment[wi] == CoreType::kTensorCore) {
+      plan.windows_tensor++;
+    } else {
+      plan.windows_cuda++;
+    }
+  }
+
+  if (base.packed != nullptr) {
+    auto packed = PackedCsr::PatchRows(*base.packed, patched, dirty_rows);
+    if (!packed.ok()) return packed.status();
+    plan.packed = std::make_shared<const PackedCsr>(std::move(packed.ValueOrDie()));
+    out.repacked = true;
+  }
+
+  // Metered incremental preprocessing: the GPU pass touches only the edges
+  // of rebuilt windows (that is the payoff of streaming maintenance).
+  KernelProfile& p = plan.preprocess_profile;
+  p.kernel_name = "hcspmm_patch";
+  const double cycles = static_cast<double>(dirty_nnz) * kHcPreprocCyclesPerNnz;
+  p.cuda_compute_cycles = cycles * 0.5;
+  p.cuda_memory_cycles = cycles * 0.5;
+  p.time_ns = dev.CyclesToNs(cycles / dev.sm_count) + dev.kernel_ramp_ns;
+  p.launches = 1;
+  p.launch_ns = dev.kernel_launch_ns;
+  p.gmem_bytes = dirty_nnz * 8;
+  p.blocks = out.dirty_windows;
+  return out;
+}
+
+}  // namespace hcspmm

@@ -1,0 +1,40 @@
+// Incremental HybridPlan maintenance: rebuild only the row windows a delta
+// batch dirtied instead of re-running Preprocess over the whole matrix.
+// Clean windows (stats, condensed columns, selector choice) are copied from
+// the base plan; dirty windows go through the same BuildWindow + selector
+// path Preprocess uses, so the patched plan is structurally equal to a cold
+// plan over the patched CSR — RunWithPlan's validator accepts it and the
+// fp32 results are bit-identical.
+#pragma once
+
+#include <vector>
+
+#include "core/preprocess.h"
+#include "util/status.h"
+
+namespace hcspmm {
+
+/// A patched plan plus the window-accounting needed by stats/bench.
+struct PlanPatch {
+  HybridPlan plan;
+  int64_t total_windows = 0;
+  int64_t dirty_windows = 0;
+  bool repacked = false;  ///< packed sidecar re-encoded (dirty rows only)
+};
+
+/// Rebuild the windows of `base` covering `dirty_rows` (sorted row ids into
+/// `patched`) and re-classify them with `selector`. When the base plan
+/// carries a packed sidecar, the sidecar is re-encoded via
+/// PackedCsr::PatchRows over the same dirty rows. `patched` must have the
+/// same shape and window tiling as the matrix `base` was built from; the
+/// returned plan's windows.csr points at `patched` (callers detach or
+/// re-point it exactly like they do for Preprocess output).
+///
+/// The preprocess profile is metered proportionally: the per-nnz GPU pass
+/// only touches dirty-window edges, which is the whole point of streaming
+/// maintenance.
+Result<PlanPatch> PatchPlan(const HybridPlan& base, const CsrMatrix& patched,
+                            const std::vector<int32_t>& dirty_rows,
+                            const DeviceSpec& dev, const SelectorModel& selector);
+
+}  // namespace hcspmm

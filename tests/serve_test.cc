@@ -478,6 +478,33 @@ TEST(ServerTest, SubmitAfterShutdownFailsCleanly) {
   EXPECT_FALSE(f.status().IsOverloaded());
 }
 
+TEST(ServerTest, UnregisterRefusesWhileBusyAndSucceedsAfterDrain) {
+  Runtime rt;
+  // A long batch window keeps the request queued while we probe.
+  Server server(&rt, BatchingOptions(64, 60'000'000));
+  const uint64_t graph = server.RegisterGraph(ServeMatrix(63));
+  const uint64_t idle = server.RegisterGraph(ServeMatrix(64));
+
+  EXPECT_EQ(server.UnregisterGraph(0xdeadbeef).code(),
+            StatusCode::kInvalidArgument);
+
+  Future<DenseMatrix> f = server.Submit({"t", graph, Payload(256, 16, 2)});
+  ASSERT_TRUE(f.valid());
+  ASSERT_FALSE(f.ready());  // still queued behind the window
+  // The busy graph refuses with the retryable backpressure code; an idle
+  // graph unregisters immediately even while another one is loaded.
+  Status busy = server.UnregisterGraph(graph);
+  EXPECT_TRUE(busy.IsOverloaded()) << busy.ToString();
+  EXPECT_TRUE(server.pool()->HasGraph(graph));
+  EXPECT_TRUE(server.UnregisterGraph(idle).ok());
+  EXPECT_FALSE(server.pool()->HasGraph(idle));
+
+  server.Shutdown();  // drains the queued request
+  ASSERT_TRUE(f.status().ok());
+  EXPECT_TRUE(server.UnregisterGraph(graph).ok());
+  EXPECT_FALSE(server.pool()->HasGraph(graph));
+}
+
 TEST(ServerTest, BatchedAndUnbatchedModesAgreeBitwise) {
   Runtime rt;
   CsrMatrix abar = ServeMatrix(59);
