@@ -67,6 +67,20 @@ BENCH_RULES = {
         "time_slack": 6.0,
         "deterministic_lower": ("dirty_window_fraction",),
     },
+    # Chaos bench: goodput/p99 under an injected fault schedule get the same
+    # wide latency slack as the serving bench, but the injected-fault count
+    # and the retry amplification are exact — the seeded per-scope schedules
+    # plus the closed-loop dispatch fixed point make them independent of
+    # thread timing. A change that silently re-dispatches more work (or
+    # drifts the fault schedule) fails the deterministic gate even when the
+    # machine is fast enough to hide it in the wall clock.
+    "chaos": {
+        "key": ("mode",),
+        "time": "p99_us",
+        "rate": "qps",
+        "time_slack": 6.0,
+        "deterministic_lower": ("injected_faults", "retry_amplification"),
+    },
 }
 
 # Allowed fractional increase for "deterministic_lower" fields. Not zero

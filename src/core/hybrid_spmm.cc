@@ -1,9 +1,11 @@
 #include "core/hybrid_spmm.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "exec/thread_pool.h"
 #include "gpusim/scheduler.h"
+#include "util/fault.h"
 
 namespace hcspmm {
 
@@ -79,9 +81,23 @@ Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
   // across the pool with no synchronization on z. The packed index stream
   // is consulted only by the fp32 SIMD paths (decode order == CSR order,
   // so results stay bit-identical to plain indices).
+  // Cooperative cancellation: the token is polled at window-batch
+  // granularity (every kCancelCheckStride windows per chunk), never inside
+  // the SIMD kernels. On expiry workers stop dispatching further windows; z
+  // is partially written and the typed error below tells the caller to
+  // discard it.
+  constexpr int64_t kCancelCheckStride = 64;
+  std::atomic<bool> cancelled{false};
   ParallelFor(0, static_cast<int64_t>(ws.size()), opts.num_threads,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
+                  if (opts.cancel != nullptr &&
+                      (i - begin) % kCancelCheckStride == 0 &&
+                      (cancelled.load(std::memory_order_relaxed) ||
+                       opts.cancel->Expired())) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    return;
+                  }
                   const RowWindow& w = ws[i];
                   if (w.nnz == 0) continue;
                   const bool on_tensor = plan.assignment[i] == CoreType::kTensorCore;
@@ -90,6 +106,9 @@ Status HcSpmm::RunWithPlan(const HybridPlan& plan, const CsrMatrix& a,
                                             /*num_threads=*/1, packed);
                 }
               });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return opts.cancel->ToStatus();
+  }
 
   // Cost metering stays serial and in window order, so the simulated profile
   // is identical for every thread count.

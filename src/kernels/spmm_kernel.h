@@ -16,6 +16,8 @@
 
 namespace hcspmm {
 
+class CancelToken;  // util/fault.h
+
 /// Per-run options shared by all kernels.
 struct KernelOptions {
   /// Storage/compute type of the Tensor-core path. kFp32 disables rounding
@@ -27,6 +29,11 @@ struct KernelOptions {
   /// bit-identical for every setting (simulated costs are metered
   /// serially and never depend on it).
   int num_threads = 0;
+  /// Optional cooperative cancellation, polled at window-batch granularity
+  /// in the dispatch loop (never inside the SIMD kernels). On expiry the run
+  /// returns kDeadlineExceeded; the output buffer may be partially written
+  /// and must be discarded by the caller.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Abstract SpMM kernel: computes Z = A * X functionally on the host

@@ -6,6 +6,7 @@
 // must be cheap and must never block on other pool work.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -87,6 +88,24 @@ class Future {
   void Wait() const {
     std::unique_lock<std::mutex> lk(state_->mu);
     state_->cv.wait(lk, [this] { return state_->ready; });
+  }
+
+  /// Block until fulfilled or `timeout` elapses. Returns whether the future
+  /// became ready — on false the future is untouched and may still resolve
+  /// later (deadline-aware callers typically cancel and keep waiting, or
+  /// drop their copy of the handle).
+  template <typename Rep, typename Period>
+  bool WaitFor(const std::chrono::duration<Rep, Period>& timeout) const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return state_->cv.wait_for(lk, timeout, [this] { return state_->ready; });
+  }
+
+  /// Block until fulfilled or the absolute `deadline` passes. Returns
+  /// whether the future became ready.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(const std::chrono::time_point<Clock, Duration>& deadline) const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return state_->cv.wait_until(lk, deadline, [this] { return state_->ready; });
   }
 
   /// Block until fulfilled, then return the outcome Status.

@@ -258,7 +258,19 @@ const CsrMatrix& Session::abar() const { return *CurrentVersion()->csr; }
 
 Status Session::MultiplyOnWithThreads(const PlanVersion& v, const DenseMatrix& x,
                                       DenseMatrix* z, KernelProfile* profile,
-                                      int num_threads) const {
+                                      int num_threads,
+                                      const CancelToken* cancel) const {
+  // Expired-before-start short-circuit (the kernel dispatch loop also polls
+  // the token mid-run).
+  if (cancel != nullptr && cancel->Expired()) return cancel->ToStatus();
+  // Simulated-device dispatch hook: an attached injector may fail this
+  // attempt (kUnavailable) or sleep a straggler delay *before* any output is
+  // written, so a failed attempt has no observable side effects and a retry
+  // recomputes bit-identically.
+  const std::shared_ptr<FaultInjector>& injector = options_.fault_injector();
+  if (injector != nullptr) {
+    HCSPMM_RETURN_NOT_OK(injector->OnDispatch(options_.fault_scope()));
+  }
   // Reduced-precision feature path: convert X once per multiply into the
   // session's storage precision (round-to-nearest-even, deterministic), so
   // the kernels stream 2 bytes/element. Inputs already stored at the target
@@ -274,6 +286,7 @@ Status Session::MultiplyOnWithThreads(const PlanVersion& v, const DenseMatrix& x
   KernelOptions opts;
   opts.dtype = options_.dtype();
   opts.num_threads = num_threads;
+  opts.cancel = cancel;
   Status st;
   if (v.plan != nullptr) {
     const auto* hc = static_cast<const HcSpmm*>(kernel_.get());
@@ -289,17 +302,27 @@ Status Session::MultiplyOnWithThreads(const PlanVersion& v, const DenseMatrix& x
   return st;
 }
 
+Status Session::MultiplyWithControls(const PlanVersion& v, const DenseMatrix& x,
+                                     DenseMatrix* z, KernelProfile* profile,
+                                     int num_threads,
+                                     const ExecControls& ctl) const {
+  return RunWithRetry(ctl, options_.fault_scope(), [&] {
+    return MultiplyOnWithThreads(v, x, z, profile, num_threads,
+                                 ctl.cancel.get());
+  });
+}
+
 Status Session::MultiplyOn(const PlanVersion& v, const DenseMatrix& x, DenseMatrix* z,
-                           KernelProfile* profile) const {
+                           KernelProfile* profile, const ExecControls& ctl) const {
   HCSPMM_RETURN_NOT_OK(init_.status());
-  return MultiplyOnWithThreads(v, x, z, profile, options_.num_threads());
+  return MultiplyWithControls(v, x, z, profile, options_.num_threads(), ctl);
 }
 
 Status Session::Multiply(const DenseMatrix& x, DenseMatrix* z,
-                         KernelProfile* profile) const {
+                         KernelProfile* profile, const ExecControls& ctl) const {
   HCSPMM_RETURN_NOT_OK(init_.status());
   auto v = CurrentVersion();
-  return MultiplyOnWithThreads(*v, x, z, profile, options_.num_threads());
+  return MultiplyWithControls(*v, x, z, profile, options_.num_threads(), ctl);
 }
 
 void Session::Enqueue(int stream, std::function<void()> task) {
@@ -333,7 +356,7 @@ void Session::Pump(Stream* s) {
 }
 
 Future<DenseMatrix> Session::MultiplyAsync(DenseMatrix x, KernelProfile* profile,
-                                           int stream) {
+                                           int stream, ExecControls ctl) {
   Promise<DenseMatrix> promise;
   auto self = shared_from_this();
   // Pin the snapshot at *submission*: an ApplyDeltas that lands while this
@@ -342,14 +365,15 @@ Future<DenseMatrix> Session::MultiplyAsync(DenseMatrix x, KernelProfile* profile
   // which is exactly what any pre-init submission was made against.
   auto pinned = TryPinVersion();
   Enqueue(stream, [self, pinned = std::move(pinned), x = std::move(x), profile,
-                   promise]() mutable {
+                   ctl = std::move(ctl), promise]() mutable {
     if (!self->init_.status().ok()) {  // resolved: pumps are init-gated
       promise.Set(self->init_.status());
       return;
     }
     const PlanVersion& v = pinned != nullptr ? *pinned : *self->initial_;
     DenseMatrix z;
-    Status st = self->MultiplyOnWithThreads(v, x, &z, profile, self->num_threads());
+    Status st =
+        self->MultiplyWithControls(v, x, &z, profile, self->num_threads(), ctl);
     if (st.ok()) {
       promise.Set(std::move(z));
     } else {
@@ -379,8 +403,8 @@ Future<bool> Session::SubmitAsync(std::function<Status()> fn, int stream) {
 
 Status Session::MultiplyBatchOn(const PlanVersion& v,
                                 const std::vector<const DenseMatrix*>& xs,
-                                std::vector<DenseMatrix>* zs,
-                                KernelProfile* profile) const {
+                                std::vector<DenseMatrix>* zs, KernelProfile* profile,
+                                const ExecControls& ctl) const {
   if (zs == nullptr) return Status::InvalidArgument("MultiplyBatch: zs is null");
   for (const DenseMatrix* x : xs) {
     if (x == nullptr) return Status::InvalidArgument("MultiplyBatch: null input");
@@ -403,17 +427,17 @@ Status Session::MultiplyBatchOn(const PlanVersion& v,
     ParallelFor(0, static_cast<int64_t>(xs.size()), options_.num_threads(),
                 [&](int64_t begin, int64_t end) {
                   for (int64_t i = begin; i < end; ++i) {
-                    statuses[i] = MultiplyOnWithThreads(v, *xs[i], &results[i],
-                                                        &profiles[i],
-                                                        /*num_threads=*/1);
+                    statuses[i] = MultiplyWithControls(v, *xs[i], &results[i],
+                                                       &profiles[i],
+                                                       /*num_threads=*/1, ctl);
                   }
                 });
   } else {
     // Narrow batch: item-level parallelism would idle most of the pool, so
     // run items sequentially with full row-level parallelism each.
     for (size_t i = 0; i < xs.size(); ++i) {
-      statuses[i] = MultiplyOnWithThreads(v, *xs[i], &results[i], &profiles[i],
-                                          options_.num_threads());
+      statuses[i] = MultiplyWithControls(v, *xs[i], &results[i], &profiles[i],
+                                         options_.num_threads(), ctl);
     }
   }
   // Fail without touching the caller's profile: a partial accumulation would
@@ -427,15 +451,16 @@ Status Session::MultiplyBatchOn(const PlanVersion& v,
 }
 
 Status Session::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
-                              std::vector<DenseMatrix>* zs,
-                              KernelProfile* profile) const {
+                              std::vector<DenseMatrix>* zs, KernelProfile* profile,
+                              const ExecControls& ctl) const {
   HCSPMM_RETURN_NOT_OK(init_.status());
   auto v = CurrentVersion();
-  return MultiplyBatchOn(*v, xs, zs, profile);
+  return MultiplyBatchOn(*v, xs, zs, profile, ctl);
 }
 
 Future<std::vector<DenseMatrix>> Session::MultiplyBatchAsync(
-    std::vector<DenseMatrix> xs, KernelProfile* profile, int stream) {
+    std::vector<DenseMatrix> xs, KernelProfile* profile, int stream,
+    ExecControls ctl) {
   if (xs.empty()) {
     // Fast path: no stream task, no pool dispatch — chained on init only so
     // a broken session stays observable (an init error propagates, matching
@@ -446,7 +471,7 @@ Future<std::vector<DenseMatrix>> Session::MultiplyBatchAsync(
   auto self = shared_from_this();
   auto pinned = TryPinVersion();  // snapshot at submission, like MultiplyAsync
   Enqueue(stream, [self, pinned = std::move(pinned), xs = std::move(xs), profile,
-                   promise]() mutable {
+                   ctl = std::move(ctl), promise]() mutable {
     if (!self->init_.status().ok()) {
       promise.Set(self->init_.status());
       return;
@@ -456,7 +481,7 @@ Future<std::vector<DenseMatrix>> Session::MultiplyBatchAsync(
     ptrs.reserve(xs.size());
     for (const DenseMatrix& x : xs) ptrs.push_back(&x);
     std::vector<DenseMatrix> zs;
-    Status st = self->MultiplyBatchOn(v, ptrs, &zs, profile);
+    Status st = self->MultiplyBatchOn(v, ptrs, &zs, profile, ctl);
     if (st.ok()) {
       promise.Set(std::move(zs));
     } else {

@@ -25,6 +25,7 @@
 #include "kernels/spmm_kernel.h"
 #include "runtime/future.h"
 #include "stream/delta.h"
+#include "util/fault.h"
 
 namespace hcspmm {
 
@@ -106,6 +107,20 @@ class SessionOptions {
     feature_precision_ = p;
     return *this;
   }
+  /// Attach a (shared) fault injector to this session's kernel dispatch
+  /// path. Null (default) means no injection and zero overhead — the hot
+  /// path never takes the injector's lock. Testing/chaos only.
+  SessionOptions& set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+    return *this;
+  }
+  /// Fault-domain id this session's dispatches draw from (per-shard
+  /// sessions get distinct scopes so one shard can fail independently).
+  /// Also seeds the retry policy's per-call jitter stream.
+  SessionOptions& set_fault_scope(uint64_t scope) {
+    fault_scope_ = scope;
+    return *this;
+  }
 
   const std::string& kernel_name() const { return kernel_name_; }
   const DeviceSpec& device() const { return device_; }
@@ -116,6 +131,10 @@ class SessionOptions {
   const SelectorModel& selector() const { return selector_; }
   bool compress_indices() const { return compress_indices_; }
   FeaturePrecision feature_precision() const { return feature_precision_; }
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return fault_injector_;
+  }
+  uint64_t fault_scope() const { return fault_scope_; }
 
  private:
   std::string kernel_name_ = "hcspmm";
@@ -127,6 +146,8 @@ class SessionOptions {
   bool has_selector_ = false;
   bool compress_indices_ = false;
   FeaturePrecision feature_precision_ = FeaturePrecision::kFp32;
+  std::shared_ptr<FaultInjector> fault_injector_;
+  uint64_t fault_scope_ = 0;
 };
 
 class Runtime;
@@ -153,26 +174,37 @@ class Session : public std::enable_shared_from_this<Session> {
 
   /// z = Abar * x, synchronously on the calling thread with full row-level
   /// parallelism. Appends to `profile` if non-null.
-  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
+  ///
+  /// Every multiply entry point takes optional ExecControls: a cancel token
+  /// (polled at window-batch granularity; expiry resolves
+  /// kDeadlineExceeded), and a RetryPolicy transparently re-running the
+  /// whole attempt on IsRetryable failures. A failed attempt never touches
+  /// `profile` or the caller-visible output, and a successful retry
+  /// recomputes from scratch, so fp32 results stay bit-identical to the
+  /// fault-free run.
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile,
+                  const ExecControls& ctl = {}) const;
 
   /// Submit z = Abar * x to `stream` and return a Future resolving to z (or
   /// the error Status). FIFO within a stream; concurrent across streams.
   /// If non-null, `profile` accumulates the multiply's metered cost before
   /// the future resolves — give each concurrent stream its own profile.
   Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
-                                    int stream = 0);
+                                    int stream = 0, ExecControls ctl = {});
 
   /// Batched synchronous entry point (semantics of SpmmEngine::MultiplyBatch:
   /// scratch results, aliasing-safe, profiles in batch order, first error
   /// wins). An empty batch returns OK without touching the pool.
   Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
-                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile,
+                       const ExecControls& ctl = {}) const;
 
   /// Async batch over owned inputs. An empty batch resolves immediately
   /// (already-ready future, no pool dispatch).
   Future<std::vector<DenseMatrix>> MultiplyBatchAsync(std::vector<DenseMatrix> xs,
                                                       KernelProfile* profile = nullptr,
-                                                      int stream = 0);
+                                                      int stream = 0,
+                                                      ExecControls ctl = {});
 
   /// Submit an arbitrary task to `stream`, FIFO-ordered with the multiplies
   /// there; the future resolves to true (or `fn`'s error, or the init error
@@ -207,9 +239,11 @@ class Session : public std::enable_shared_from_this<Session> {
   std::shared_ptr<const PlanVersion> InitialVersion() const;
 
   /// z = Abar(version) * x on an explicitly pinned snapshot, synchronously,
-  /// with the session's configured thread count.
+  /// with the session's configured thread count. ShardedSession forwards its
+  /// ExecControls here, so a retry re-dispatches *only this session's shard*
+  /// of a fanned-out multiply.
   Status MultiplyOn(const PlanVersion& v, const DenseMatrix& x, DenseMatrix* z,
-                    KernelProfile* profile) const;
+                    KernelProfile* profile, const ExecControls& ctl = {}) const;
 
   /// Published delta version (0 until the first ApplyDeltas; waits).
   uint64_t version() const;
@@ -284,15 +318,26 @@ class Session : public std::enable_shared_from_this<Session> {
   /// enqueue time and fall back to initial_ inside the (init-gated) task.
   std::shared_ptr<const PlanVersion> TryPinVersion() const;
 
-  /// Multiply on a pinned snapshot assuming init completed OK (no waiting).
+  /// One multiply attempt on a pinned snapshot assuming init completed OK
+  /// (no waiting). Runs the fault-injection dispatch hook (if an injector is
+  /// attached) and polls `cancel` in the kernel dispatch loop.
   Status MultiplyOnWithThreads(const PlanVersion& v, const DenseMatrix& x,
                                DenseMatrix* z, KernelProfile* profile,
-                               int num_threads) const;
+                               int num_threads,
+                               const CancelToken* cancel = nullptr) const;
 
-  /// Batch body over a pinned snapshot (semantics of MultiplyBatch).
+  /// MultiplyOnWithThreads wrapped in the ExecControls retry loop (scope =
+  /// options().fault_scope()).
+  Status MultiplyWithControls(const PlanVersion& v, const DenseMatrix& x,
+                              DenseMatrix* z, KernelProfile* profile,
+                              int num_threads, const ExecControls& ctl) const;
+
+  /// Batch body over a pinned snapshot (semantics of MultiplyBatch). Retry
+  /// applies per item: only failed items recompute, each from scratch.
   Status MultiplyBatchOn(const PlanVersion& v,
                          const std::vector<const DenseMatrix*>& xs,
-                         std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+                         std::vector<DenseMatrix>* zs, KernelProfile* profile,
+                         const ExecControls& ctl = {}) const;
 
   /// Aux-memory model shared by Initialize and ApplyDeltas.
   int64_t ComputeAuxBytes(const HybridPlan* plan, const WindowedCsr& windows,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <unordered_set>
 #include <utility>
 
 #include "util/logging.h"
@@ -34,8 +36,8 @@ void WfqScheduler::Enqueue(const std::string& tenant, const BatchKey& key,
 template <typename Visit>
 int WfqScheduler::Collect(int max_n,
                           const std::function<int(const std::string&)>& can_take,
-                          bool pop, BatchKey* key_out, Clock::time_point* head_out,
-                          Visit&& visit) {
+                          const GraphFilter& graph_ok, bool pop, BatchKey* key_out,
+                          Clock::time_point* head_out, Visit&& visit) {
   // Walk heads in vft order. `offset` simulates popping when !pop so Plan and
   // Pop traverse identically; `excluded` marks tenants whose head was
   // incompatible with the batch key (head-of-line order within a tenant is
@@ -56,6 +58,9 @@ int WfqScheduler::Collect(int max_n,
       if (off >= static_cast<int>(q.items.size())) continue;
       if (can_take(name) - taken[name] <= 0) continue;
       const QueuedItem& head = q.items[static_cast<size_t>(off)];
+      // Graph gate (circuit breaker): a tenant whose head targets a held-back
+      // graph sits out this batch; nothing behind its head is considered.
+      if (graph_ok != nullptr && !graph_ok(head.key.graph)) continue;
       if (best_item == nullptr || head.vft < best_item->vft ||
           (head.vft == best_item->vft && head.seq < best_item->seq)) {
         best_q = &q;
@@ -88,11 +93,12 @@ int WfqScheduler::Collect(int max_n,
 }
 
 std::optional<WfqScheduler::Plan> WfqScheduler::PlanBatch(
-    int max_n, const std::function<int(const std::string&)>& can_take) const {
+    int max_n, const std::function<int(const std::string&)>& can_take,
+    const GraphFilter& graph_ok) const {
   Plan plan;
   // Collect only reads when pop == false; const_cast keeps one traversal.
   const int count = const_cast<WfqScheduler*>(this)->Collect(
-      max_n, can_take, /*pop=*/false, &plan.key, &plan.head_enqueue,
+      max_n, can_take, graph_ok, /*pop=*/false, &plan.key, &plan.head_enqueue,
       [](const std::string&, const QueuedItem&) {});
   if (count == 0) return std::nullopt;
   plan.count = count;
@@ -100,13 +106,33 @@ std::optional<WfqScheduler::Plan> WfqScheduler::PlanBatch(
 }
 
 std::vector<WfqScheduler::Popped> WfqScheduler::PopBatch(
-    int max_n, const std::function<int(const std::string&)>& can_take) {
+    int max_n, const std::function<int(const std::string&)>& can_take,
+    const GraphFilter& graph_ok) {
   std::vector<Popped> out;
-  Collect(max_n, can_take, /*pop=*/true, nullptr, nullptr,
+  Collect(max_n, can_take, graph_ok, /*pop=*/true, nullptr, nullptr,
           [&out](const std::string& tenant, const QueuedItem& item) {
             out.push_back(Popped{tenant, item.id, item.enqueue_time});
           });
   return out;
+}
+
+std::vector<WfqScheduler::Popped> WfqScheduler::RemoveIf(
+    const std::function<bool(const std::string& tenant, uint64_t graph, uint64_t id)>&
+        pred) {
+  std::vector<Popped> removed;
+  for (auto& [name, q] : tenants_) {
+    auto it = q.items.begin();
+    while (it != q.items.end()) {
+      if (pred(name, it->key.graph, it->id)) {
+        removed.push_back(Popped{name, it->id, it->enqueue_time});
+        it = q.items.erase(it);
+        --total_depth_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
 }
 
 int64_t WfqScheduler::QueueDepth(const std::string& tenant) const {
@@ -169,7 +195,24 @@ Status Server::UnregisterGraph(uint64_t handle) {
         "Server: graph " + std::to_string(handle) + " has " +
         std::to_string(load) + " queued/in-flight requests; drain and retry");
   }
-  return pool_.Unregister(handle);
+  Status st = pool_.Unregister(handle);
+  if (st.ok()) graph_state_.erase(handle);
+  return st;
+}
+
+void Server::SetRetryPolicy(uint64_t graph, const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  GraphState& gs = graph_state_[graph];
+  gs.retry = policy;
+  gs.has_retry_override = true;
+}
+
+RetryPolicy Server::RetryPolicyLocked(uint64_t graph) const {
+  auto it = graph_state_.find(graph);
+  if (it != graph_state_.end() && it->second.has_retry_override) {
+    return it->second.retry;
+  }
+  return options_.retry;
 }
 
 void Server::ConfigureTenant(const std::string& tenant, const TenantOptions& opts) {
@@ -193,6 +236,8 @@ Future<DenseMatrix> Server::Submit(InferRequest request) {
   // Validate the operand against the pool outside mu_ (the pool has its own
   // lock) so a bad request never poisons co-batched peers at dispatch time.
   const int32_t graph_cols = pool_.GraphCols(request.graph);
+  const int64_t graph_nnz =
+      options_.size_aware_cost ? pool_.GraphNnz(request.graph) : -1;
   std::unique_lock<std::mutex> lk(mu_);
   if (stopping_) {
     return MakeErrorFuture<DenseMatrix>(
@@ -222,13 +267,76 @@ Future<DenseMatrix> Server::Submit(InferRequest request) {
   pending.tenant = request.tenant;
   pending.graph = request.graph;
   pending.enqueue_time = now;
+  pending.deadline = request.deadline;
   Future<DenseMatrix> future = pending.promise.future();
   const WfqScheduler::BatchKey key{request.graph, pending.x.cols()};
+  // Size-aware fair share: one request against a big graph with a wide
+  // feature matrix displaces proportionally more of its tenant's budget
+  // than a small one. 64Ki nnz*dim == one cost unit; tiny work still
+  // charges at least a per-request unit so queue slots aren't free.
+  double cost = 1.0;
+  if (graph_nnz > 0) {
+    cost = std::max(1.0, static_cast<double>(graph_nnz) *
+                             static_cast<double>(pending.x.cols()) / 65536.0);
+  }
+  tenant.cost_charged += cost;
   pending_.emplace(id, std::move(pending));
-  sched_.Enqueue(request.tenant, key, id, now);
+  sched_.Enqueue(request.tenant, key, id, now, cost);
   lk.unlock();
   cv_.notify_all();
   return future;
+}
+
+std::vector<Server::Pending> Server::ShedForOpenBreakersLocked() {
+  std::vector<Pending> out;
+  if (options_.breaker_failures <= 0) return out;
+  for (auto& [graph, gs] : graph_state_) {
+    if (gs.breaker != BreakerState::kOpen) continue;
+    struct Cand {
+      uint64_t id = 0;
+      double weight = 1.0;
+      WfqScheduler::Clock::time_point enq;
+    };
+    std::vector<Cand> cands;
+    for (const auto& [id, p] : pending_) {
+      if (p.graph == graph) {
+        cands.push_back({id, tenants_.at(p.tenant).options.weight, p.enqueue_time});
+      }
+    }
+    if (static_cast<int>(cands.size()) <= options_.max_batch) continue;
+    // Keep the highest-weight, oldest requests for the eventual probe batch;
+    // shed everything else, lowest weight first (newest first within one).
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      if (a.enq != b.enq) return a.enq < b.enq;
+      return a.id < b.id;
+    });
+    std::unordered_set<uint64_t> shed_ids;
+    for (size_t i = static_cast<size_t>(options_.max_batch); i < cands.size(); ++i) {
+      shed_ids.insert(cands[i].id);
+    }
+    sched_.RemoveIf([&shed_ids](const std::string&, uint64_t, uint64_t id) {
+      return shed_ids.count(id) != 0;
+    });
+    for (uint64_t id : shed_ids) {
+      auto it = pending_.find(id);
+      HCSPMM_CHECK(it != pending_.end()) << "shed id missing from pending_";
+      ++tenants_.at(it->second.tenant).shed;
+      out.push_back(std::move(it->second));
+      pending_.erase(it);
+    }
+  }
+  return out;
+}
+
+std::optional<WfqScheduler::Clock::time_point> Server::NextBreakerWakeLocked()
+    const {
+  std::optional<WfqScheduler::Clock::time_point> wake;
+  for (const auto& [graph, gs] : graph_state_) {
+    if (gs.breaker != BreakerState::kOpen) continue;
+    if (!wake.has_value() || gs.open_until < *wake) wake = gs.open_until;
+  }
+  return wake;
 }
 
 void Server::DispatcherLoop() {
@@ -238,46 +346,112 @@ void Server::DispatcherLoop() {
     if (it == tenants_.end()) return 0;
     return it->second.options.max_inflight - static_cast<int>(it->second.inflight);
   };
+  // Breaker gate: open graphs don't dispatch, half-open graphs admit one
+  // probe batch at a time. Shutdown drains unconditionally — accepted
+  // requests must resolve even when their graph is sick (the attempt then
+  // fails fast and typed if the fault persists).
+  const WfqScheduler::GraphFilter graph_ok = [this](uint64_t graph) {
+    if (stopping_) return true;
+    auto it = graph_state_.find(graph);
+    if (it == graph_state_.end()) return true;
+    const GraphState& gs = it->second;
+    if (gs.breaker == BreakerState::kOpen) return false;
+    return !(gs.breaker == BreakerState::kHalfOpen && gs.probe_inflight);
+  };
   for (;;) {
+    const auto now = WfqScheduler::Clock::now();
+    // Promote expired open breakers: the next batch through is the probe.
+    for (auto& [graph, gs] : graph_state_) {
+      if (gs.breaker == BreakerState::kOpen && now >= gs.open_until) {
+        gs.breaker = BreakerState::kHalfOpen;
+        gs.probe_inflight = false;
+      }
+    }
+    // Overload degradation: while a breaker is open, shed its queued work
+    // beyond one probe batch instead of letting it pile up. Skipped while
+    // stopping — shutdown drains everything through the gate above.
+    if (!stopping_) {
+      std::vector<Pending> shed = ShedForOpenBreakersLocked();
+      if (!shed.empty()) {
+        lk.unlock();
+        for (Pending& p : shed) {
+          p.promise.Set(Status::Unavailable(
+              "Server: shed while circuit breaker open for graph " +
+              std::to_string(p.graph)));
+        }
+        lk.lock();
+        continue;
+      }
+    }
     std::optional<WfqScheduler::Plan> plan =
-        sched_.PlanBatch(options_.max_batch, can_take);
+        sched_.PlanBatch(options_.max_batch, can_take, graph_ok);
     if (!plan.has_value()) {
       if (stopping_ && sched_.TotalDepth() == 0 && inflight_total_ == 0) return;
-      cv_.wait(lk);
+      // Queued work may sit blocked behind an open breaker: bound the wait
+      // by the earliest re-probe time so promotion isn't missed.
+      std::optional<WfqScheduler::Clock::time_point> wake = NextBreakerWakeLocked();
+      if (wake.has_value()) {
+        cv_.wait_until(lk, *wake);
+      } else {
+        cv_.wait(lk);
+      }
       continue;
     }
     const bool full = plan->count >= options_.max_batch;
-    const auto deadline =
+    const auto window_end =
         plan->head_enqueue + std::chrono::microseconds(options_.batch_window_us);
-    if (!full && !stopping_ && WfqScheduler::Clock::now() < deadline) {
-      cv_.wait_until(lk, deadline);  // woken early by submits/completions
+    if (!full && !stopping_ && WfqScheduler::Clock::now() < window_end) {
+      cv_.wait_until(lk, window_end);  // woken early by submits/completions
       continue;
     }
     std::vector<WfqScheduler::Popped> popped =
-        sched_.PopBatch(options_.max_batch, can_take);
+        sched_.PopBatch(options_.max_batch, can_take, graph_ok);
     if (popped.empty()) continue;  // racing completion changed eligibility
     BatchJob job;
-    job.graph = 0;
     job.items.reserve(popped.size());
+    // Deadline sweep at pop: a request whose deadline already passed resolves
+    // kDeadlineExceeded without dispatching — its result would be discarded
+    // anyway, so the backend never sees the work.
+    std::vector<Pending> expired;
+    const auto pop_now = WfqScheduler::Clock::now();
     for (const WfqScheduler::Popped& p : popped) {
       auto it = pending_.find(p.id);
       HCSPMM_CHECK(it != pending_.end()) << "scheduler popped unknown id";
-      job.items.push_back(std::move(it->second));
+      if (it->second.deadline <= pop_now) {
+        ++tenants_.at(p.tenant).deadline_missed;
+        expired.push_back(std::move(it->second));
+      } else {
+        job.items.push_back(std::move(it->second));
+        ++tenants_.at(p.tenant).inflight;
+      }
       pending_.erase(it);
-      ++tenants_.at(p.tenant).inflight;
     }
-    job.graph = job.items.front().graph;
-    graph_inflight_[job.graph] += static_cast<int64_t>(job.items.size());
-    // Rotate streams so consecutive batches for one session overlap instead
-    // of serializing on a single FIFO lane.
-    job.stream = static_cast<int>(batches_);
-    ++batches_;
-    const size_t bucket =
-        std::min(job.items.size(), batch_size_hist_.size() - 1);
-    ++batch_size_hist_[bucket];
-    inflight_total_ += static_cast<int64_t>(job.items.size());
+    if (!job.items.empty()) {
+      job.graph = job.items.front().graph;
+      job.retry = RetryPolicyLocked(job.graph);
+      auto gs = graph_state_.find(job.graph);
+      if (gs != graph_state_.end() &&
+          gs->second.breaker == BreakerState::kHalfOpen) {
+        gs->second.probe_inflight = true;
+        job.probe = true;
+      }
+      graph_inflight_[job.graph] += static_cast<int64_t>(job.items.size());
+      // Rotate streams so consecutive batches for one session overlap instead
+      // of serializing on a single FIFO lane.
+      job.stream = static_cast<int>(batches_);
+      ++batches_;
+      const size_t bucket =
+          std::min(job.items.size(), batch_size_hist_.size() - 1);
+      ++batch_size_hist_[bucket];
+      inflight_total_ += static_cast<int64_t>(job.items.size());
+    }
     lk.unlock();
-    DispatchBatch(std::move(job));
+    for (Pending& p : expired) {
+      p.promise.Set(Status::DeadlineExceeded(
+          "Server: deadline passed while queued (graph " +
+          std::to_string(p.graph) + ")"));
+    }
+    if (!job.items.empty()) DispatchBatch(std::move(job));
     lk.lock();
   }
 }
@@ -288,11 +462,25 @@ void Server::DispatchBatch(BatchJob job) {
     CompleteBatch(std::move(job), session.status(), {});
     return;
   }
+  ExecControls ctl;
+  ctl.retry = job.retry;
+  ctl.retry_counter = &retries_;
+  // Arm the batch token with the *latest* item deadline: once it expires no
+  // item in the batch can use the result any more. Items co-batched with
+  // later-deadline peers may still complete after their own deadline — see
+  // the InferRequest contract.
+  auto latest = WfqScheduler::Clock::time_point::min();
+  for (const Pending& item : job.items) latest = std::max(latest, item.deadline);
+  if (latest != WfqScheduler::Clock::time_point::max()) {
+    job.cancel = std::make_shared<CancelToken>();
+    job.cancel->set_deadline(latest);
+    ctl.cancel = job.cancel;
+  }
   std::vector<DenseMatrix> xs;
   xs.reserve(job.items.size());
   for (Pending& item : job.items) xs.push_back(std::move(item.x));
-  Future<std::vector<DenseMatrix>> batch =
-      session.ValueOrDie().MultiplyBatchAsync(std::move(xs), job.stream);
+  Future<std::vector<DenseMatrix>> batch = session.ValueOrDie().MultiplyBatchAsync(
+      std::move(xs), job.stream, std::move(ctl));
   // The callback owns the job (promises included); it runs on the executor
   // thread that fulfills the batch, scattering results back per request.
   auto shared_job = std::make_shared<BatchJob>(std::move(job));
@@ -324,8 +512,38 @@ void Server::CompleteBatch(BatchJob job, const Status& status,
         latencies_us_.push_back(
             std::chrono::duration<double, std::micro>(now - item.enqueue_time)
                 .count());
+      } else if (st.IsDeadlineExceeded()) {
+        ++tenant.deadline_missed;
       } else {
         ++tenant.failed;
+      }
+    }
+    // Breaker bookkeeping. Only final kUnavailable outcomes count as graph
+    // failures — a client's deadline expiring says nothing about the graph's
+    // health, and retries already masked what they could.
+    if (options_.breaker_failures > 0) {
+      GraphState& gs = graph_state_[job.graph];
+      if (st.ok()) {
+        gs.consecutive_failures = 0;
+        gs.breaker = BreakerState::kClosed;
+        gs.probe_inflight = false;
+      } else if (st.IsUnavailable()) {
+        ++gs.consecutive_failures;
+        if (job.probe || gs.consecutive_failures >= options_.breaker_failures) {
+          const auto open_until =
+              now + std::chrono::microseconds(options_.breaker_open_us);
+          if (gs.breaker != BreakerState::kOpen) {
+            gs.breaker = BreakerState::kOpen;
+            gs.open_until = open_until;
+            ++breaker_trips_;
+          } else {
+            gs.open_until = std::max(gs.open_until, open_until);
+          }
+          gs.probe_inflight = false;
+        }
+      } else if (job.probe) {
+        // Probe ended without a verdict (e.g. deadline): allow another.
+        gs.probe_inflight = false;
       }
     }
     inflight_total_ -= static_cast<int64_t>(job.items.size());
@@ -378,19 +596,32 @@ ServerStats Server::stats() const {
     t.rejected = state.rejected;
     t.queued = sched_.QueueDepth(name);
     t.inflight = state.inflight;
+    t.deadline_missed = state.deadline_missed;
+    t.shed = state.shed;
+    t.cost_charged = state.cost_charged;
     s.tenants.emplace(name, t);
     s.submitted += t.submitted;
     s.completed += t.completed;
     s.failed += t.failed;
     s.rejected += t.rejected;
+    s.deadline_missed += t.deadline_missed;
+    s.shed += t.shed;
     s.queue_depth += t.queued;
   }
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_;
   s.batches = batches_;
   s.batch_size_hist = batch_size_hist_;
   if (s.batches > 0) {
-    s.avg_batch_size = static_cast<double>(s.completed + s.failed +
-                                           inflight_total_) /
-                       static_cast<double>(s.batches);
+    // Dispatched request count from the histogram — deadline-expired pops
+    // and shed requests never reach a batch, so completed + failed no longer
+    // equals what was dispatched.
+    int64_t dispatched = 0;
+    for (size_t sz = 1; sz < batch_size_hist_.size(); ++sz) {
+      dispatched += static_cast<int64_t>(sz) * batch_size_hist_[sz];
+    }
+    s.avg_batch_size =
+        static_cast<double>(dispatched) / static_cast<double>(s.batches);
   }
   if (!latencies_us_.empty()) {
     std::vector<double> lat = latencies_us_;

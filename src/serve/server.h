@@ -20,6 +20,7 @@
 // bit-identical to the unbatched path (asserted in tests and bench_serving).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -61,6 +62,25 @@ struct ServerOptions {
   int64_t batch_window_us = 200;
   /// Applied to tenants that were never explicitly configured.
   TenantOptions default_tenant;
+  /// Default per-graph retry policy for dispatched batches: IsRetryable
+  /// batch failures (injected kUnavailable faults) re-run transparently
+  /// inside the session layer — per item, and per shard slice for sharded
+  /// backends — before the batch future resolves. max_attempts <= 1 (the
+  /// default) disables retry. Override per graph with SetRetryPolicy.
+  RetryPolicy retry;
+  /// Per-graph circuit breaker: after this many *consecutive* kUnavailable
+  /// batch failures the graph's breaker opens for breaker_open_us — queued
+  /// work for it beyond one probe batch is shed (lowest tenant weight
+  /// first, resolved kUnavailable) and nothing dispatches until a half-open
+  /// probe batch succeeds. <= 0 (default) disables the breaker.
+  int breaker_failures = 0;
+  int64_t breaker_open_us = 2000;
+  /// Charge WFQ cost by graph nnz x feature dim (normalized; min 1.0)
+  /// instead of 1.0 per request, so one huge-graph tenant cannot monopolize
+  /// the backend via few expensive requests. Relative fairness between
+  /// tenants submitting identical work is unchanged (WFQ is scale
+  /// invariant).
+  bool size_aware_cost = true;
 };
 
 /// One request into the serving layer.
@@ -68,6 +88,15 @@ struct InferRequest {
   std::string tenant;
   uint64_t graph = 0;  ///< handle from Server::RegisterGraph
   DenseMatrix x;       ///< feature matrix (rows must equal the graph's cols)
+  /// Absolute deadline; time_point::max() (default) means none. A request
+  /// whose deadline passed while queued resolves kDeadlineExceeded at pop
+  /// time instead of dispatching. Dispatched batches carry a cancel token
+  /// armed with the *latest* item deadline (cancelling earlier would strand
+  /// peers that still want the result), polled by the kernels at
+  /// window-batch granularity — an item may therefore still receive its
+  /// value shortly after its own deadline when co-batched with later ones.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Per-tenant serving counters (snapshot).
@@ -79,6 +108,15 @@ struct TenantStats {
   int64_t rejected = 0;   ///< kOverloaded at admission
   int64_t queued = 0;     ///< waiting for dispatch right now
   int64_t inflight = 0;   ///< dispatched, not yet completed
+  /// Resolved kDeadlineExceeded (expired while queued, or batch cancelled at
+  /// its deadline mid-run). Disjoint from completed/failed/shed.
+  int64_t deadline_missed = 0;
+  /// Resolved kUnavailable by breaker-open load shedding (never dispatched).
+  /// Disjoint from completed/failed/deadline_missed.
+  int64_t shed = 0;
+  /// Total WFQ cost charged at admission (== submitted when size-aware cost
+  /// is off; proportional to nnz x dim when on).
+  double cost_charged = 0.0;
 };
 
 /// Whole-server snapshot (Server::stats()).
@@ -88,6 +126,13 @@ struct ServerStats {
   int64_t completed = 0;
   int64_t failed = 0;
   int64_t rejected = 0;
+  int64_t deadline_missed = 0;  ///< sum of tenant deadline_missed
+  int64_t shed = 0;             ///< sum of tenant shed
+  /// Transparent in-session retry attempts across every dispatched batch
+  /// (0 extra attempts when no faults fire or retry is disabled).
+  int64_t retries = 0;
+  /// Circuit-breaker open transitions (closed/half-open -> open).
+  int64_t breaker_trips = 0;
   int64_t queue_depth = 0;
   int64_t batches = 0;
   /// batch_size_hist[s] = batches dispatched with exactly s requests
@@ -140,6 +185,12 @@ class WfqScheduler {
     Clock::time_point head_enqueue;  ///< oldest-scheduled selected request
   };
 
+  /// Optional per-batch graph gate: tenants whose *head* request targets a
+  /// graph the filter rejects are skipped for this batch (head-of-line order
+  /// within the tenant is preserved — nothing behind the head is considered).
+  /// The server uses this to hold back graphs whose circuit breaker is open.
+  using GraphFilter = std::function<bool(uint64_t graph)>;
+
   /// Set (or update) a tenant's weight; values <= 0 clamp to a tiny epsilon.
   void SetWeight(const std::string& tenant, double weight);
 
@@ -150,10 +201,20 @@ class WfqScheduler {
 
   /// `can_take(tenant)` returns how many more requests the tenant may have
   /// dispatched right now (its in-flight headroom); <= 0 skips the tenant.
-  std::optional<Plan> PlanBatch(
-      int max_n, const std::function<int(const std::string&)>& can_take) const;
-  std::vector<Popped> PopBatch(
-      int max_n, const std::function<int(const std::string&)>& can_take);
+  std::optional<Plan> PlanBatch(int max_n,
+                                const std::function<int(const std::string&)>& can_take,
+                                const GraphFilter& graph_ok = nullptr) const;
+  std::vector<Popped> PopBatch(int max_n,
+                               const std::function<int(const std::string&)>& can_take,
+                               const GraphFilter& graph_ok = nullptr);
+
+  /// Remove every queued entry matching `pred` (any position, not just
+  /// heads) and return them. The vft cost charged at enqueue stays charged —
+  /// shed work still counts against its tenant's fair share, so a tenant
+  /// cannot farm scheduling credit by submitting work that gets shed.
+  std::vector<Popped> RemoveIf(
+      const std::function<bool(const std::string& tenant, uint64_t graph, uint64_t id)>&
+          pred);
 
   int64_t QueueDepth(const std::string& tenant) const;
   int64_t TotalDepth() const { return total_depth_; }
@@ -175,8 +236,8 @@ class WfqScheduler {
   /// Shared selection walk behind PlanBatch/PopBatch. `pop` mutates.
   template <typename Visit>
   int Collect(int max_n, const std::function<int(const std::string&)>& can_take,
-              bool pop, BatchKey* key_out, Clock::time_point* head_out,
-              Visit&& visit);
+              const GraphFilter& graph_ok, bool pop, BatchKey* key_out,
+              Clock::time_point* head_out, Visit&& visit);
 
   std::unordered_map<std::string, TenantQueue> tenants_;
   double virtual_time_ = 0.0;
@@ -219,6 +280,10 @@ class Server {
   /// applies on first submit). Weight changes apply to future submits.
   void ConfigureTenant(const std::string& tenant, const TenantOptions& options);
 
+  /// Per-graph retry override (otherwise ServerOptions::retry applies).
+  /// Takes effect for batches popped after the call.
+  void SetRetryPolicy(uint64_t graph, const RetryPolicy& policy);
+
   /// Submit one request. Returns a future resolving to the product (or an
   /// error). Synchronous rejections: kOverloaded when the tenant's bounded
   /// queue is full, InvalidArgument for unknown handles / mismatched
@@ -241,6 +306,7 @@ class Server {
     std::string tenant;
     uint64_t graph = 0;
     WfqScheduler::Clock::time_point enqueue_time;
+    WfqScheduler::Clock::time_point deadline = WfqScheduler::Clock::time_point::max();
   };
   struct TenantState {
     TenantOptions options;
@@ -249,11 +315,32 @@ class Server {
     int64_t failed = 0;
     int64_t rejected = 0;
     int64_t inflight = 0;
+    int64_t deadline_missed = 0;
+    int64_t shed = 0;
+    double cost_charged = 0.0;
   };
   struct BatchJob {
     uint64_t graph = 0;
     std::vector<Pending> items;
     int stream = 0;
+    /// Resolved under mu_ at pop time (per-graph override or server default).
+    RetryPolicy retry;
+    /// Armed with the latest item deadline; null when no item has one.
+    std::shared_ptr<CancelToken> cancel;
+    /// This batch is a half-open breaker probe: its outcome alone decides
+    /// whether the breaker closes or re-opens.
+    bool probe = false;
+  };
+  /// Per-graph fault-handling state (breaker + retry override), keyed like
+  /// graph_inflight_ on the content fingerprint.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  struct GraphState {
+    bool has_retry_override = false;
+    RetryPolicy retry;
+    int consecutive_failures = 0;
+    BreakerState breaker = BreakerState::kClosed;
+    WfqScheduler::Clock::time_point open_until;
+    bool probe_inflight = false;
   };
 
   TenantState& TenantLocked(const std::string& tenant);
@@ -261,6 +348,15 @@ class Server {
   /// counts as in flight from the moment it is popped under mu_ until
   /// CompleteBatch, which covers the unlocked pop -> pool Acquire window.
   int64_t GraphLoadLocked(uint64_t handle) const;
+  RetryPolicy RetryPolicyLocked(uint64_t graph) const;
+  /// Pull breaker-open graphs' queued requests out of the scheduler (keeping
+  /// the oldest max_batch highest-weight ones for the eventual probe) so the
+  /// caller can resolve them kUnavailable outside the lock. Lowest tenant
+  /// weight is shed first, newest first within a weight.
+  std::vector<Pending> ShedForOpenBreakersLocked();
+  /// Earliest open_until across open breakers, if any (bounds the dispatcher
+  /// wait so half-open promotion isn't missed while the queue is idle).
+  std::optional<WfqScheduler::Clock::time_point> NextBreakerWakeLocked() const;
   void DispatcherLoop();
   void DispatchBatch(BatchJob job);
   void CompleteBatch(BatchJob job, const Status& status, std::vector<DenseMatrix> zs);
@@ -273,13 +369,18 @@ class Server {
   WfqScheduler sched_;
   std::unordered_map<uint64_t, Pending> pending_;  // queued payloads by id
   std::unordered_map<uint64_t, int64_t> graph_inflight_;  // dispatched per graph
+  std::unordered_map<uint64_t, GraphState> graph_state_;
   std::unordered_map<std::string, TenantState> tenants_;
   uint64_t next_id_ = 0;
   int64_t inflight_total_ = 0;
   int64_t batches_ = 0;
+  int64_t breaker_trips_ = 0;
   std::vector<int64_t> batch_size_hist_;
   std::vector<double> latencies_us_;
   bool stopping_ = false;
+  /// Incremented by the session layer per transparent retry attempt (shared
+  /// across batches, hence atomic — batches complete off-lock).
+  std::atomic<int64_t> retries_{0};
 
   std::thread dispatcher_;
 };

@@ -27,9 +27,10 @@ struct BatchJoin {
 }  // namespace
 
 Future<std::vector<DenseMatrix>> PooledSession::MultiplyBatchAsync(
-    std::vector<DenseMatrix> xs, int stream) const {
+    std::vector<DenseMatrix> xs, int stream, ExecControls ctl) const {
   if (session_ != nullptr) {
-    return session_->MultiplyBatchAsync(std::move(xs), /*profile=*/nullptr, stream);
+    return session_->MultiplyBatchAsync(std::move(xs), /*profile=*/nullptr, stream,
+                                        std::move(ctl));
   }
   if (xs.empty()) return MakeReadyFuture(std::vector<DenseMatrix>());
   auto join = std::make_shared<BatchJoin>(xs.size());
@@ -38,7 +39,7 @@ Future<std::vector<DenseMatrix>> PooledSession::MultiplyBatchAsync(
     // One stream per item so items overlap across each shard's FIFO lanes
     // (Session mods the index into its stream count).
     Future<DenseMatrix> item = sharded->MultiplyAsync(
-        std::move(xs[i]), /*profile=*/nullptr, stream + static_cast<int>(i));
+        std::move(xs[i]), /*profile=*/nullptr, stream + static_cast<int>(i), ctl);
     item.OnReady([join, item, i]() mutable {
       {
         std::lock_guard<std::mutex> lk(join->mu);
@@ -107,6 +108,12 @@ int32_t SessionPool::GraphCols(uint64_t handle) const {
   return it == graphs_.end() ? -1 : it->second.abar->cols();
 }
 
+int64_t SessionPool::GraphNnz(uint64_t handle) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = graphs_.find(handle);
+  return it == graphs_.end() ? -1 : it->second.abar->nnz();
+}
+
 namespace {
 
 template <typename T>
@@ -118,20 +125,26 @@ void PruneExpired(std::vector<std::weak_ptr<T>>* refs) {
 
 }  // namespace
 
-PooledSession SessionPool::OpenLocked(GraphEntry* entry) {
+PooledSession SessionPool::OpenLocked(uint64_t handle, GraphEntry* entry) {
   PruneExpired(&ever_opened_);
   PruneExpired(&ever_opened_sharded_);
+  // The content fingerprint doubles as the graph's fault-domain scope: fault
+  // schedules and retry jitter are then deterministic per graph no matter in
+  // what order graphs are registered or (re)opened. Shard backends offset
+  // their per-shard scopes from it.
+  SessionOptions session_options = options_.session;
+  session_options.set_fault_scope(handle);
   PooledSession opened;
   if (options_.num_shards > 1) {
     ShardingOptions sharding = options_.sharding;
     sharding.num_shards = options_.num_shards;
     opened.sharded_ =
-        ShardedSession::Open(runtime_, *entry->abar, options_.session, sharding);
+        ShardedSession::Open(runtime_, *entry->abar, session_options, sharding);
     ever_opened_sharded_.push_back(opened.sharded_);
   } else {
     // Shared-ownership open: the session pins the snapshot itself, so a
     // later ApplyDeltas/Unregister can swap/drop entry->abar safely.
-    opened.session_ = runtime_->OpenSession(entry->abar, options_.session);
+    opened.session_ = runtime_->OpenSession(entry->abar, session_options);
     ever_opened_.push_back(opened.session_);
   }
   ++opened_;
@@ -164,7 +177,7 @@ Result<PooledSession> SessionPool::Acquire(uint64_t handle) {
     return entry.open;
   }
   ++misses_;
-  entry.open = OpenLocked(&entry);
+  entry.open = OpenLocked(handle, &entry);
   entry.resident = true;
   lru_.push_front(handle);
   entry.lru_pos = lru_.begin();

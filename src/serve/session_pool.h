@@ -72,9 +72,12 @@ class PooledSession {
   /// stream and the results join into batch order. Either way every item is
   /// computed exactly like a direct Multiply on the same input — per-request
   /// accumulation order never changes, so fp32 results are bit-identical.
-  /// An empty batch resolves immediately.
+  /// An empty batch resolves immediately. ExecControls forward into the
+  /// backend (per-item retry; for a sharded backend retry re-dispatches only
+  /// the failed shard's row slice).
   Future<std::vector<DenseMatrix>> MultiplyBatchAsync(std::vector<DenseMatrix> xs,
-                                                      int stream = 0) const;
+                                                      int stream = 0,
+                                                      ExecControls ctl = {}) const;
 
   /// Block until preprocessing finished; returns its outcome.
   Status WaitReady() const {
@@ -114,6 +117,10 @@ class SessionPool {
   /// Columns of the registered operand (what x.rows() must equal), or -1
   /// for an unknown handle — the server validates admission with this.
   int32_t GraphCols(uint64_t handle) const;
+
+  /// Nonzero count of the registered operand, or -1 for an unknown handle —
+  /// the server's size-aware WFQ cost (nnz x feature dim) reads this.
+  int64_t GraphNnz(uint64_t handle) const;
 
   /// Get-or-open the session for `handle` (refreshing its LRU position).
   /// Opening is non-blocking — plan building runs on the runtime pool, and
@@ -159,8 +166,10 @@ class SessionPool {
   };
 
   /// Open a session for the entry (lock held; the open itself is
-  /// non-blocking so the critical section stays short).
-  PooledSession OpenLocked(GraphEntry* entry);
+  /// non-blocking so the critical section stays short). `handle` seeds the
+  /// backend's fault scope so each graph is its own deterministic fault
+  /// domain (shards offset from it).
+  PooledSession OpenLocked(uint64_t handle, GraphEntry* entry);
   void EvictToBudgetLocked();
 
   Runtime* runtime_;

@@ -63,8 +63,14 @@ std::shared_ptr<const ShardedSession::ShardState> ShardedSession::OpenState(
   // the sessions' lifetime; every OpenSession returns immediately, so the K
   // plan builds overlap each other on the runtime pool.
   state->sessions.reserve(state->partition->shards.size());
-  for (const CsrMatrix& shard : state->partition->shards) {
-    state->sessions.push_back(runtime->OpenSession(&shard, options));
+  for (size_t i = 0; i < state->partition->shards.size(); ++i) {
+    // Each shard is its own fault domain: distinct scopes mean an injector
+    // can fail exactly one shard of a fan-out, and retry jitter never runs
+    // in lockstep across shards.
+    SessionOptions shard_options = options;
+    shard_options.set_fault_scope(options.fault_scope() + i);
+    state->sessions.push_back(
+        runtime->OpenSession(&state->partition->shards[i], shard_options));
   }
   std::shared_ptr<const ShardState> out = state;
   for (const auto& session : out->sessions) {
@@ -230,10 +236,13 @@ Status ShardedSession::ApplyDeltas(const DeltaBatch& batch, DeltaApplyStats* sta
 }
 
 Status ShardedSession::Multiply(const DenseMatrix& x, DenseMatrix* z,
-                                KernelProfile* profile) const {
+                                KernelProfile* profile,
+                                const ExecControls& ctl) const {
   if (z == nullptr) return Status::InvalidArgument("sharded Multiply: z is null");
   auto state = State();
-  if (state->sessions.size() == 1) return state->sessions[0]->Multiply(x, z, profile);
+  if (state->sessions.size() == 1) {
+    return state->sessions[0]->Multiply(x, z, profile, ctl);
+  }
 
   // Fan out: each shard computes its rows on its own session's stream and
   // scatters them into `out` (disjoint row blocks — no lock, no reduction);
@@ -250,10 +259,12 @@ Status ShardedSession::Multiply(const DenseMatrix& x, DenseMatrix* z,
     const ShardRange& range = state->partition->ranges[i];
     KernelProfile* prof = &profs[i];
     futures.push_back(session->SubmitAsync(
-        [state, session, range, i, &x, &out, prof] {
+        [state, session, range, i, &x, &out, prof, ctl] {
+          // Retry (inside MultiplyOn) recomputes only this shard's slice;
+          // the scatter runs once, after the slice finally succeeded.
           DenseMatrix local;
           HCSPMM_RETURN_NOT_OK(
-              session->MultiplyOn(ShardVersion(*state, i), x, &local, prof));
+              session->MultiplyOn(ShardVersion(*state, i), x, &local, prof, ctl));
           return ScatterShard(local, range, &out);
         },
         /*stream=*/0));
@@ -272,11 +283,11 @@ Status ShardedSession::Multiply(const DenseMatrix& x, DenseMatrix* z,
 }
 
 Future<DenseMatrix> ShardedSession::MultiplyAsync(DenseMatrix x, KernelProfile* profile,
-                                                  int stream) {
+                                                  int stream, ExecControls ctl) {
   auto state = State();
   if (state->sessions.size() == 1) {
-    Future<DenseMatrix> fut =
-        state->sessions[0]->MultiplyAsync(std::move(x), profile, stream);
+    Future<DenseMatrix> fut = state->sessions[0]->MultiplyAsync(
+        std::move(x), profile, stream, std::move(ctl));
     // Same keepalive the K>1 tasks carry: the session's stream task reads
     // the shard CSR owned by the pinned state, so hold it until the future
     // resolves even if the caller drops its handle first.
@@ -313,10 +324,10 @@ Future<DenseMatrix> ShardedSession::MultiplyAsync(DenseMatrix x, KernelProfile* 
     Session* session = state->sessions[i].get();
     const ShardRange range = state->partition->ranges[i];
     Future<bool> fut = session->SubmitAsync(
-        [join, self, state, session, range, i] {
+        [join, self, state, session, range, i, ctl] {
           DenseMatrix local;
           HCSPMM_RETURN_NOT_OK(session->MultiplyOn(ShardVersion(*state, i), join->x,
-                                                   &local, &join->profs[i]));
+                                                   &local, &join->profs[i], ctl));
           return ScatterShard(local, range, &join->out);
         },
         stream);
@@ -343,7 +354,8 @@ Future<DenseMatrix> ShardedSession::MultiplyAsync(DenseMatrix x, KernelProfile* 
 
 Status ShardedSession::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
                                      std::vector<DenseMatrix>* zs,
-                                     KernelProfile* profile) const {
+                                     KernelProfile* profile,
+                                     const ExecControls& ctl) const {
   if (zs == nullptr) return Status::InvalidArgument("MultiplyBatch: zs is null");
   for (const DenseMatrix* x : xs) {
     if (x == nullptr) return Status::InvalidArgument("MultiplyBatch: null input");
@@ -358,7 +370,7 @@ Status ShardedSession::MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
   std::vector<DenseMatrix> results(xs.size());
   std::vector<KernelProfile> profs(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) {
-    HCSPMM_RETURN_NOT_OK(Multiply(*xs[i], &results[i], &profs[i]));
+    HCSPMM_RETURN_NOT_OK(Multiply(*xs[i], &results[i], &profs[i], ctl));
   }
   if (profile != nullptr) {
     for (const KernelProfile& p : profs) profile->Accumulate(p);  // batch order

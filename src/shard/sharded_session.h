@@ -65,7 +65,19 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   /// z = Abar * x, synchronously: every shard is submitted to its session's
   /// stream, computes its row slice, and scatters it into *z; the caller
   /// blocks on the join. Appends to `profile` in shard order if non-null.
-  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile) const;
+  ///
+  /// ExecControls forward into each shard's Session::MultiplyOn, so retry
+  /// re-dispatches *only the failed shard's row slice*: a shard scatters its
+  /// rows into the output exactly once, after its (possibly retried) attempt
+  /// succeeded, and completed slices are never re-accumulated — fp32 results
+  /// under retry stay bit-identical to the fault-free run. Each shard draws
+  /// faults/jitter from its own scope (options.fault_scope() + shard index).
+  /// A cancel token makes joins deadline-aware: shard kernels observe it at
+  /// window-batch granularity and fail kDeadlineExceeded, so the join
+  /// resolves promptly (it still waits for every shard task — the output
+  /// buffer is shared).
+  Status Multiply(const DenseMatrix& x, DenseMatrix* z, KernelProfile* profile,
+                  const ExecControls& ctl = {}) const;
 
   /// Async multiply returning a joined future: resolves to the full product
   /// after the last shard wrote its rows (first shard error wins). Submits
@@ -74,15 +86,18 @@ class ShardedSession : public std::enable_shared_from_this<ShardedSession> {
   /// non-null `profile` accumulates every shard's metered cost in shard
   /// order before the future resolves and must outlive it. The whole
   /// fan-out is pinned to the ShardState current at submission.
+  /// ExecControls behave as in Multiply (shard-slice retry, deadline-aware
+  /// join).
   Future<DenseMatrix> MultiplyAsync(DenseMatrix x, KernelProfile* profile = nullptr,
-                                    int stream = 0);
+                                    int stream = 0, ExecControls ctl = {});
 
   /// Batched synchronous entry point (contract of Session::MultiplyBatch:
   /// scratch results so *zs may alias the inputs, profiles accumulate in
   /// batch order, empty batch is an OK no-op, first item error wins). Items
   /// run one after another, each with full cross-shard parallelism.
   Status MultiplyBatch(const std::vector<const DenseMatrix*>& xs,
-                       std::vector<DenseMatrix>* zs, KernelProfile* profile) const;
+                       std::vector<DenseMatrix>* zs, KernelProfile* profile,
+                       const ExecControls& ctl = {}) const;
 
   int num_shards() const { return State()->partition->NumShards(); }
   /// Current partition/ranges/sessions. Transient across ApplyDeltas (a

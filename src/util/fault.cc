@@ -1,0 +1,72 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hcspmm {
+
+Status FaultInjector::OnDispatch(uint64_t scope) {
+  if (!enabled()) return Status::OK();
+  bool fault = false;
+  bool straggle = false;
+  int64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = scopes_.find(scope);
+    if (it == scopes_.end()) {
+      it = scopes_.emplace(scope, ScopeState(opts_.seed, scope)).first;
+    }
+    ScopeState& s = it->second;
+    ordinal = ++s.dispatches;
+    // Fixed draw order (fault, then straggler) on every dispatch so the
+    // decision for (scope, ordinal) never depends on which options are set
+    // or on what other scopes are doing concurrently.
+    const double fault_draw = s.rng.NextDouble();
+    const double straggler_draw = s.rng.NextDouble();
+    const bool down =
+        opts_.down_after > 0 && ordinal >= opts_.down_after &&
+        (opts_.down_for <= 0 || ordinal < opts_.down_after + opts_.down_for);
+    fault = down || (opts_.fault_rate > 0.0 && fault_draw < opts_.fault_rate);
+    straggle = !fault && opts_.straggler_rate > 0.0 &&
+               straggler_draw < opts_.straggler_rate;
+  }
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  if (straggle) {
+    stragglers_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.straggler_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(opts_.straggler_us));
+    }
+  }
+  if (fault) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected fault (scope " + std::to_string(scope) +
+                               ", dispatch " + std::to_string(ordinal) + ")");
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  scopes_.clear();
+  faults_.store(0, std::memory_order_relaxed);
+  stragglers_.store(0, std::memory_order_relaxed);
+  dispatches_.store(0, std::memory_order_relaxed);
+}
+
+int64_t RetryPolicy::BackoffUs(int attempt, uint64_t scope) const {
+  double base = static_cast<double>(initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) base *= backoff_multiplier;
+  base = std::min(base, static_cast<double>(max_backoff_us));
+  if (jitter > 0.0) {
+    // Stateless seeded jitter: one draw from a stream keyed by (seed, scope,
+    // attempt) — deterministic, and de-correlated across scopes so shard
+    // retries of the same attempt number do not stampede in lockstep.
+    Pcg32 rng(seed ^ (0x9e3779b97f4a7c15ULL * (scope + 1)),
+              static_cast<uint64_t>(attempt));
+    base *= rng.NextDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max<int64_t>(0, std::llround(base));
+}
+
+}  // namespace hcspmm

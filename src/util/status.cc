@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,14 @@ enum class StatusCode {
   /// started* because a bounded queue was full (serving layer admission).
   /// Distinct from real failures so callers can retry with backoff.
   kOverloaded,
+  /// The caller's deadline passed (or it cancelled) before the operation
+  /// finished. Any partial output is discarded by the layer that returns
+  /// this; retrying is pointless unless the caller extends the deadline.
+  kDeadlineExceeded,
+  /// Transient infrastructure failure (injected kernel fault, device-down
+  /// window, stuck shard). The operation had no observable side effects on
+  /// the result buffers a caller keeps, so it is safe to retry as-is.
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -50,11 +58,28 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   /// True iff this is a backpressure rejection (kOverloaded) — safe to
   /// retry later; no side effects happened.
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  /// True iff retrying the identical operation can succeed: transient
+  /// infrastructure failures (kUnavailable) and admission backpressure
+  /// (kOverloaded). Deadline expiry is deliberately *not* retryable — the
+  /// caller's budget is spent.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable || code_ == StatusCode::kOverloaded;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <string>
@@ -121,6 +122,58 @@ TEST(FutureTest, OnReadyRunsInlineWhenAlreadyFulfilled) {
   bool ran = false;
   fut.OnReady([&] { ran = true; });
   EXPECT_TRUE(ran);
+}
+
+TEST(FutureTest, WaitForTimesOutThenSucceeds) {
+  Promise<int> promise;
+  Future<int> fut = promise.future();
+  EXPECT_FALSE(fut.WaitFor(std::chrono::milliseconds(5)));
+  EXPECT_FALSE(fut.WaitUntil(std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(5)));
+  std::thread producer([promise]() mutable { promise.Set(7); });
+  EXPECT_TRUE(fut.WaitFor(std::chrono::seconds(30)));
+  EXPECT_EQ(fut.Get(), 7);
+  producer.join();
+  // Already-ready futures return immediately regardless of timeout.
+  EXPECT_TRUE(fut.WaitFor(std::chrono::nanoseconds(0)));
+}
+
+// Continuations attached *while* the error is being set must behave exactly
+// like pre-registered ones: the tail future gets the upstream error and no
+// continuation body ever runs. Loops the race so both interleavings (Then
+// before Set wins, Set before Then wins) are exercised; TSan-clean.
+TEST(FutureTest, ThenAfterErrorRegisteredConcurrentlyWithFulfillment) {
+  for (int iter = 0; iter < 200; ++iter) {
+    Promise<int> promise;
+    Future<int> fut = promise.future();
+    std::atomic<bool> go{false};
+    std::atomic<int> invocations{0};
+    Future<int> tail;
+    std::thread chainer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      tail = fut.Then([&](const int& v) {
+                  ++invocations;
+                  return v + 1;
+                })
+                 .Then([&](const int& v) {
+                   ++invocations;
+                   return v * 2;
+                 });
+    });
+    std::thread fulfiller([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      promise.Set(Status::Unavailable("mid-chain failure"));
+    });
+    go.store(true, std::memory_order_release);
+    chainer.join();
+    fulfiller.join();
+    tail.Wait();
+    EXPECT_EQ(tail.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(tail.status().message(), "mid-chain failure");
+    EXPECT_EQ(invocations.load(), 0);
+  }
 }
 
 // ---------------------------------------------------------------------------

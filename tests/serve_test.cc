@@ -224,6 +224,27 @@ TEST(WfqSchedulerTest, WeightedDrainIsProportional) {
   EXPECT_EQ(sched.TotalDepth(), 40);
 }
 
+TEST(WfqSchedulerTest, ExplicitCostScalesFairShare) {
+  WfqScheduler sched;
+  sched.SetWeight("cheap", 1.0);
+  sched.SetWeight("pricey", 1.0);
+  const WfqScheduler::BatchKey key{1, 32};
+  const auto t0 = WfqScheduler::Clock::now();
+  for (uint64_t i = 0; i < 40; ++i) {
+    sched.Enqueue("cheap", key, 1000 + i, t0, /*cost=*/1.0);
+    sched.Enqueue("pricey", key, 2000 + i, t0, /*cost=*/10.0);
+  }
+  // At equal weight, cost-10 work drains 10x slower: of the 44 smallest
+  // virtual finish times, exactly 4 belong to the pricey tenant.
+  int pricey = 0;
+  for (int i = 0; i < 44; ++i) {
+    std::vector<WfqScheduler::Popped> popped = sched.PopBatch(1, NoCap);
+    ASSERT_EQ(popped.size(), 1u);
+    if (popped[0].tenant == "pricey") ++pricey;
+  }
+  EXPECT_EQ(pricey, 4);
+}
+
 TEST(WfqSchedulerTest, LateArriverIsNotPenalizedByBacklog) {
   WfqScheduler sched;
   sched.SetWeight("flood", 1.0);
@@ -314,6 +335,37 @@ TEST(ServerTest, FullBatchScattersBitIdenticalResults) {
   EXPECT_EQ(stats.rejected, 0);
   EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us);
   EXPECT_LE(stats.p99_latency_us, stats.max_latency_us);
+}
+
+TEST(ServerTest, SizeAwareCostChargesByWork) {
+  Runtime rt;
+  ServerOptions opts;
+  opts.pool = PoolOptions(4);
+  opts.max_batch = 1;
+  ASSERT_TRUE(opts.size_aware_cost);  // default on
+  Server server(&rt, opts);
+  // Dense big graph with wide features vs sparse small graph with narrow
+  // ones: the WFQ charge must scale with nnz x dim, not per request.
+  CsrMatrix big = ServeMatrix(71, /*rows=*/256, /*density=*/0.5);
+  CsrMatrix small = ServeMatrix(72, /*rows=*/256, /*density=*/0.01);
+  const double big_work =
+      static_cast<double>(big.nnz()) * 32.0 / 65536.0;  // cost units
+  const uint64_t hb = server.RegisterGraph(std::move(big));
+  const uint64_t hs = server.RegisterGraph(std::move(small));
+
+  Future<DenseMatrix> fb = server.Submit({"big", hb, Payload(256, 32, 300)});
+  Future<DenseMatrix> fs = server.Submit({"small", hs, Payload(256, 4, 301)});
+  fb.Wait();
+  fs.Wait();
+  ASSERT_TRUE(fb.ok() && fs.ok());
+
+  ServerStats stats = server.stats();
+  // Small graph's nnz x dim is under one unit => clamps to the per-request
+  // floor; the big request is charged its actual (much larger) work.
+  EXPECT_DOUBLE_EQ(stats.tenants.at("small").cost_charged, 1.0);
+  EXPECT_DOUBLE_EQ(stats.tenants.at("big").cost_charged, big_work);
+  EXPECT_GT(stats.tenants.at("big").cost_charged,
+            8.0 * stats.tenants.at("small").cost_charged);
 }
 
 TEST(ServerTest, IncompatibleRequestsNeverCoBatch) {

@@ -6,8 +6,10 @@
 // verified bitwise against a precomputed direct Session::Multiply reference.
 //
 // Exit status: 0 on success — kOverloaded rejections are *expected* output
-// of an open-loop overload run and are only reported; any bitwise mismatch
-// or non-overload failure exits non-zero.
+// of an open-loop overload run and are only reported; with --deadline-ms
+// and --fault-rate the same goes for kDeadlineExceeded and kUnavailable
+// (typed outcomes of the configured chaos, counted and reported). Any
+// bitwise mismatch or failure outside the enabled typed set exits non-zero.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include "runtime/runtime.h"
 #include "serve/server.h"
 #include "sparse/generate.h"
+#include "util/fault.h"
 #include "util/random.h"
 
 namespace {
@@ -36,6 +39,11 @@ void PrintUsage(const char* argv0) {
                "  --max-batch N    micro-batch size window (default: 8)\n"
                "  --window-us N    micro-batch time window (default: 300)\n"
                "  --seed N         payload/graph RNG seed (default: 17)\n"
+               "  --deadline-ms N  per-request deadline; 0 = none (default: 0)\n"
+               "  --fault-rate F   injected transient-fault probability per\n"
+               "                   dispatch, seeded from --seed (default: 0)\n"
+               "  --retry N        max attempts per dispatch incl. the first\n"
+               "                   (default: 1 = no retry)\n"
                "  --json PATH      also write the stats snapshot as JSON\n",
                argv0);
 }
@@ -52,6 +60,9 @@ int main(int argc, char** argv) {
   int max_batch = 8;
   int64_t window_us = 300;
   uint64_t seed = 17;
+  int64_t deadline_ms = 0;
+  double fault_rate = 0.0;
+  int retry = 1;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,6 +79,12 @@ int main(int argc, char** argv) {
       window_us = std::max<int64_t>(0, std::atoll(argv[++i]));
     } else if (arg == "--seed" && has_operand) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline-ms" && has_operand) {
+      deadline_ms = std::max<int64_t>(0, std::atoll(argv[++i]));
+    } else if (arg == "--fault-rate" && has_operand) {
+      fault_rate = std::min(1.0, std::max(0.0, std::atof(argv[++i])));
+    } else if (arg == "--retry" && has_operand) {
+      retry = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "--json" && has_operand) {
       json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
@@ -101,6 +118,18 @@ int main(int argc, char** argv) {
   options.pool.session = session_options;
   options.max_batch = max_batch;
   options.batch_window_us = window_us;
+  std::shared_ptr<FaultInjector> injector;
+  if (fault_rate > 0.0) {
+    FaultOptions fopts;
+    fopts.seed = seed;
+    fopts.fault_rate = fault_rate;
+    injector = std::make_shared<FaultInjector>(fopts);
+    options.pool.session.set_fault_injector(injector);
+  }
+  if (retry > 1) {
+    options.retry.max_attempts = retry;
+    options.retry.seed = seed;
+  }
   Server server(rt, options);
   std::vector<Load> loads;
   for (CsrMatrix& m : matrices) {
@@ -142,6 +171,21 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> resolved{0};
   std::atomic<int64_t> mismatched{0};
   std::atomic<int64_t> hard_failed{0};
+  std::atomic<int64_t> deadline_exceeded{0};
+  std::atomic<int64_t> unavailable{0};
+  // A status is an *expected* chaos outcome only when the flag that can
+  // produce it is enabled; otherwise it stays a hard failure.
+  const bool deadlines_on = deadline_ms > 0;
+  const bool faults_on = fault_rate > 0.0;
+  const auto classify = [&](const hcspmm::Status& st) {
+    if (deadlines_on && st.IsDeadlineExceeded()) {
+      deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    } else if (faults_on && st.IsUnavailable()) {
+      unavailable.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hard_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   int64_t offered = 0;
   int64_t accepted = 0;
   const auto start = std::chrono::steady_clock::now();
@@ -158,19 +202,24 @@ int main(int argc, char** argv) {
         &load.references[(offered / loads.size()) % kPayloadsPerGraph];
     const DenseMatrix& payload =
         load.payloads[(offered / loads.size()) % kPayloadsPerGraph];
-    Future<DenseMatrix> f = server.Submit(
-        {tenant_names[offered % tenant_names.size()], load.handle, payload});
+    InferRequest req{tenant_names[offered % tenant_names.size()], load.handle,
+                     payload};
+    if (deadlines_on) {
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadline_ms);
+    }
+    Future<DenseMatrix> f = server.Submit(std::move(req));
     ++offered;
     if (f.ready() && !f.status().ok()) {
       // Synchronous rejection (kOverloaded under overload); counted by the
       // server's own stats, and a real failure is caught below.
-      if (!f.status().IsOverloaded()) hard_failed.fetch_add(1);
+      if (!f.status().IsOverloaded()) classify(f.status());
       continue;
     }
     ++accepted;
-    f.OnReady([f, expected, &resolved, &mismatched, &hard_failed]() mutable {
+    f.OnReady([f, expected, &resolved, &mismatched, &classify]() mutable {
       if (!f.status().ok()) {
-        hard_failed.fetch_add(1, std::memory_order_relaxed);
+        classify(f.status());
       } else {
         const DenseMatrix& z = f.Get();
         const bool same =
@@ -203,6 +252,13 @@ int main(int argc, char** argv) {
               stats.completed / wall_s);
   std::printf("latency p50 %.0f us, p99 %.0f us, max %.0f us\n",
               stats.p50_latency_us, stats.p99_latency_us, stats.max_latency_us);
+  std::printf("deadline-missed %lld, retries %lld, shed %lld, breaker trips "
+              "%lld, failed %lld\n",
+              static_cast<long long>(stats.deadline_missed),
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.breaker_trips),
+              static_cast<long long>(stats.failed));
   std::printf("batches %lld, avg size %.2f; pool: %lld sessions, %lld hits / "
               "%lld misses\n",
               static_cast<long long>(stats.batches), stats.avg_batch_size,
@@ -214,9 +270,11 @@ int main(int argc, char** argv) {
   for (const auto& [name, t] : stats.tenants) {
     rows.push_back({name, FormatDouble(t.weight, 1), std::to_string(t.submitted),
                     std::to_string(t.completed), std::to_string(t.rejected),
-                    std::to_string(t.failed)});
+                    std::to_string(t.failed), std::to_string(t.deadline_missed),
+                    std::to_string(t.shed)});
   }
-  PrintTable({"tenant", "weight", "submitted", "completed", "rejected", "failed"},
+  PrintTable({"tenant", "weight", "submitted", "completed", "rejected", "failed",
+              "dl-missed", "shed"},
              rows);
 
   std::string hist = "batch-size histogram:";
@@ -234,7 +292,9 @@ int main(int argc, char** argv) {
       tenant_objs.push_back(JsonObject(
           {JsonField("tenant", name), JsonField("weight", t.weight),
            JsonField("submitted", t.submitted), JsonField("completed", t.completed),
-           JsonField("rejected", t.rejected), JsonField("failed", t.failed)}));
+           JsonField("rejected", t.rejected), JsonField("failed", t.failed),
+           JsonField("deadline_missed", t.deadline_missed),
+           JsonField("shed", t.shed)}));
     }
     const std::string report = JsonObject(
         {JsonField("tool", std::string("hcspmm_serve")),
@@ -246,6 +306,13 @@ int main(int argc, char** argv) {
          JsonField("p99_us", stats.p99_latency_us),
          JsonField("batches", stats.batches),
          JsonField("avg_batch_size", stats.avg_batch_size),
+         JsonField("deadline_missed", stats.deadline_missed),
+         JsonField("retries", stats.retries),
+         JsonField("shed", stats.shed),
+         JsonField("breaker_trips", stats.breaker_trips),
+         JsonField("failed", stats.failed),
+         JsonField("injected_faults",
+                   injector != nullptr ? injector->injected_faults() : 0),
          JsonField("mismatched", mismatched.load()),
          JsonValue(std::string("tenants")) + ": " + JsonArray(tenant_objs)});
     if (!WriteTextFile(json_path, report)) {
@@ -255,9 +322,15 @@ int main(int argc, char** argv) {
     std::printf("  wrote %s\n", json_path.c_str());
   }
 
+  if (deadlines_on || faults_on) {
+    std::printf("typed chaos outcomes: %lld deadline-exceeded, %lld "
+                "unavailable (expected under the configured flags)\n",
+                static_cast<long long>(deadline_exceeded.load()),
+                static_cast<long long>(unavailable.load()));
+  }
   if (mismatched.load() != 0 || hard_failed.load() != 0) {
     std::fprintf(stderr,
-                 "FAIL: %lld bitwise mismatches, %lld non-overload failures\n",
+                 "FAIL: %lld bitwise mismatches, %lld unexpected failures\n",
                  static_cast<long long>(mismatched.load()),
                  static_cast<long long>(hard_failed.load()));
     return 1;
